@@ -1,0 +1,56 @@
+// Shared helpers for the per-figure benchmark harnesses.
+//
+// Every harness prints (a) the same series the paper's figure plots, as an
+// aligned table, and (b) a machine-readable CSV block.  Workload sizes are
+// MB-scale by default (this is a containerized reproduction; see
+// EXPERIMENTS.md) and multiply by SMART_BENCH_SCALE.
+//
+// Timing convention: on a machine with fewer cores than simulated ranks,
+// wall time cannot show scaling, so harnesses report the *virtual makespan*
+// (max over ranks of the LogP-style virtual clock, simmpi/communicator.h)
+// alongside wall time.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/memory_tracker.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timing.h"
+
+namespace smart::bench {
+
+/// Scales a base element count by SMART_BENCH_SCALE.
+inline std::size_t scaled(std::size_t base) {
+  const double s = bench_scale();
+  return static_cast<std::size_t>(static_cast<double>(base) * s);
+}
+
+inline void print_header(const std::string& figure, const std::string& paper_setup,
+                         const std::string& our_setup) {
+  std::cout << "================================================================\n"
+            << figure << "\n"
+            << "  paper setup: " << paper_setup << "\n"
+            << "  this run:    " << our_setup << "\n"
+            << "  (SMART_BENCH_SCALE=" << bench_scale() << ")\n"
+            << "================================================================\n";
+}
+
+inline void finish(Table& table, const std::string& tag, const std::string& title) {
+  table.print(std::cout, title);
+  table.print_csv(std::cout, tag);
+  std::cout << std::endl;
+}
+
+/// Resets the process-wide memory tracker between experiment legs.
+inline void reset_memory(std::size_t budget_bytes = 0) {
+  auto& t = MemoryTracker::instance();
+  t.reset();
+  t.set_budget(budget_bytes);
+}
+
+}  // namespace smart::bench

@@ -1,0 +1,137 @@
+// Figure 6 — performance comparison with hand-written low-level (MPI +
+// threads) analytics programs: k-means and logistic regression, varying
+// rank count.
+//
+// Paper: 1 TB over 8-64 nodes; the low-level k-means beats Smart by up to
+// 9% (Smart pays map-structure serialization in global combination), and
+// logistic regression shows no noticeable difference (single key => trivial
+// serialization).
+#include "analytics/kmeans.h"
+#include "analytics/logistic_regression.h"
+#include "baselines/lowlevel.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "simmpi/world.h"
+
+namespace {
+
+using namespace smart;
+using namespace smart::analytics;
+
+constexpr std::size_t kDims = 64;
+constexpr std::size_t kK = 8;
+constexpr int kIters = 10;
+constexpr std::size_t kLogRegDim = 15;
+constexpr int kThreadsPerRank = 2;
+
+struct Pair {
+  double smart_makespan = 0.0;
+  double lowlevel_makespan = 0.0;
+};
+
+/// Virtual makespans are a max over per-rank CPU clocks, which amplifies
+/// scheduler noise when many ranks share few physical cores; the minimum
+/// of a few repetitions is the stable estimator.
+template <typename Fn>
+double best_of(const Fn& fn, int reps = 3) {
+  double best = fn();
+  for (int r = 1; r < reps; ++r) best = std::min(best, fn());
+  return best;
+}
+
+Pair bench_kmeans(const std::vector<double>& data, int nranks) {
+  std::vector<double> init(kK * kDims);
+  Rng rng(31);
+  for (auto& c : init) c = rng.gaussian();
+  const std::size_t points = data.size() / kDims;
+  auto part = [&](int rank) {
+    const std::size_t per = points / static_cast<std::size_t>(nranks);
+    return std::pair<std::size_t, std::size_t>{static_cast<std::size_t>(rank) * per * kDims,
+                                               per * kDims};
+  };
+  Pair out;
+  out.smart_makespan = best_of([&] {
+    return simmpi::launch(nranks, [&](simmpi::Communicator& comm) {
+      const auto [offset, len] = part(comm.rank());
+      KMeansInit seed{init.data(), kK, kDims};
+      KMeans<double> km(SchedArgs(kThreadsPerRank, kDims, &seed, kIters), kK, kDims);
+      km.run(data.data() + offset, len, nullptr, 0);
+    }).makespan();
+  });
+  out.lowlevel_makespan = best_of([&] {
+    return simmpi::launch(nranks, [&](simmpi::Communicator& comm) {
+      const auto [offset, len] = part(comm.rank());
+      ThreadPool pool(kThreadsPerRank);
+      (void)baselines::lowlevel_kmeans(data.data() + offset, len / kDims, kDims, kK, kIters,
+                                       init, pool, &comm);
+    }).makespan();
+  });
+  return out;
+}
+
+Pair bench_logreg(const std::vector<double>& data, int nranks) {
+  const std::size_t stride = kLogRegDim + 1;
+  const std::size_t records = data.size() / stride;
+  auto part = [&](int rank) {
+    const std::size_t per = records / static_cast<std::size_t>(nranks);
+    return std::pair<std::size_t, std::size_t>{static_cast<std::size_t>(rank) * per * stride,
+                                               per * stride};
+  };
+  Pair out;
+  out.smart_makespan = best_of([&] {
+    return simmpi::launch(nranks, [&](simmpi::Communicator& comm) {
+      const auto [offset, len] = part(comm.rank());
+      LogisticRegression<double> reg(SchedArgs(kThreadsPerRank, stride, nullptr, kIters),
+                                     kLogRegDim, 0.1);
+      reg.run(data.data() + offset, len, nullptr, 0);
+    }).makespan();
+  });
+  out.lowlevel_makespan = best_of([&] {
+    return simmpi::launch(nranks, [&](simmpi::Communicator& comm) {
+      const auto [offset, len] = part(comm.rank());
+      ThreadPool pool(kThreadsPerRank);
+      (void)baselines::lowlevel_logreg(data.data() + offset, len / stride, kLogRegDim, kIters,
+                                       0.1, pool, &comm);
+    }).makespan();
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n_doubles = smart::bench::scaled(1u << 22);
+  smart::bench::print_header(
+      "Figure 6: Smart vs hand-written low-level (MPI/threads) analytics",
+      "1 TB over 8-64 nodes; low-level wins by <= 9% on k-means, ~0% on logreg",
+      smart::format_bytes(n_doubles * sizeof(double)) + " per app, 2 threads/rank, virtual time");
+
+  smart::Rng rng(32);
+  const auto data = rng.gaussian_vector(n_doubles);
+
+  smart::Table table({"app", "ranks", "smart_makespan_s", "lowlevel_makespan_s",
+                      "smart_overhead_pct"});
+  for (const int nranks : {2, 4, 8, 16}) {
+    const Pair km = bench_kmeans(data, nranks);
+    table.begin_row();
+    table.add("kmeans");
+    table.add(nranks);
+    table.add(km.smart_makespan, 4);
+    table.add(km.lowlevel_makespan, 4);
+    table.add(100.0 * (km.smart_makespan / km.lowlevel_makespan - 1.0), 1);
+  }
+  for (const int nranks : {2, 4, 8, 16}) {
+    const Pair lr = bench_logreg(data, nranks);
+    table.begin_row();
+    table.add("logreg");
+    table.add(nranks);
+    table.add(lr.smart_makespan, 4);
+    table.add(lr.lowlevel_makespan, 4);
+    table.add(100.0 * (lr.smart_makespan / lr.lowlevel_makespan - 1.0), 1);
+  }
+  smart::bench::finish(table, "fig06", "Smart vs low-level implementations");
+  std::cout << "Expectation (paper shape): smart_overhead_pct small (paper: <= ~9% for\n"
+               "k-means, unnoticeable for logistic regression), not growing out of control\n"
+               "with rank count.\n";
+  return 0;
+}

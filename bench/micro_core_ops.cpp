@@ -1,0 +1,175 @@
+// Microbenchmarks (google-benchmark) for the core runtime operations the
+// figures aggregate: in-place reduction, map serialization, the circular
+// buffer, simmpi point-to-point and collectives, and end-to-end per-element
+// costs of representative analytics.
+#include <benchmark/benchmark.h>
+
+#include "analytics/histogram.h"
+#include "analytics/moving_average.h"
+#include "analytics/red_objs.h"
+#include "common/rng.h"
+#include "core/scheduler.h"
+#include "simmpi/world.h"
+#include "threading/circular_buffer.h"
+#include "threading/thread_pool.h"
+
+namespace {
+
+using namespace smart;
+using namespace smart::analytics;
+
+std::vector<double> bench_data(std::size_t n) {
+  Rng rng(4242);
+  return rng.gaussian_vector(n);
+}
+
+// --- reduction-map operations ----------------------------------------------
+
+void BM_ReductionMapAccumulate(benchmark::State& state) {
+  // The inner loop of Smart's reduction phase: locate by key, accumulate in
+  // place (no KV pair emission).
+  register_red_objs();
+  CombinationMap map;
+  const auto keys = static_cast<int>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const int key = static_cast<int>(i++ % static_cast<std::size_t>(keys));
+    auto& slot = map[key];
+    if (!slot) slot = std::make_unique<Bucket>();
+    static_cast<Bucket&>(*slot).count += 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_ReductionMapAccumulate)->Arg(100)->Arg(1200)->Arg(10000);
+
+void BM_MapSerializeRoundTrip(benchmark::State& state) {
+  // The global-combination cost unit: serialize + deserialize a map.
+  register_red_objs();
+  CombinationMap map;
+  for (int k = 0; k < state.range(0); ++k) {
+    auto b = std::make_unique<Bucket>();
+    b->count = static_cast<std::size_t>(k);
+    map.emplace(k, std::move(b));
+  }
+  for (auto _ : state) {
+    Buffer buf;
+    serialize_map(map, buf);
+    benchmark::DoNotOptimize(deserialize_map(buf));
+  }
+}
+BENCHMARK(BM_MapSerializeRoundTrip)->Arg(100)->Arg(1200)->Arg(10000);
+
+void BM_RedObjClone(benchmark::State& state) {
+  ClusterObj obj;
+  obj.centroid.assign(64, 1.0);
+  obj.sum.assign(64, 2.0);
+  for (auto _ : state) benchmark::DoNotOptimize(obj.clone());
+}
+BENCHMARK(BM_RedObjClone);
+
+// --- threading substrate -----------------------------------------------------
+
+void BM_CircularBufferPushPop(benchmark::State& state) {
+  CircularBuffer<std::vector<double>> buf(4);
+  std::vector<double> cell(static_cast<std::size_t>(state.range(0)), 1.0);
+  for (auto _ : state) {
+    buf.push(cell);
+    benchmark::DoNotOptimize(buf.pop());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) *
+                          static_cast<std::int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_CircularBufferPushPop)->Arg(1024)->Arg(65536);
+
+void BM_ThreadPoolRegionLatency(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    pool.parallel_region([](int) {});
+  }
+}
+BENCHMARK(BM_ThreadPoolRegionLatency)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// --- simmpi ------------------------------------------------------------------
+
+void BM_SimmpiPingPong(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    simmpi::launch(2, [&](simmpi::Communicator& comm) {
+      Buffer payload(bytes);
+      if (comm.rank() == 0) {
+        comm.send(1, 0, std::move(payload));
+        (void)comm.recv(1, 1);
+      } else {
+        Buffer got = comm.recv(0, 0);
+        comm.send(0, 1, std::move(got));
+      }
+    });
+  }
+}
+BENCHMARK(BM_SimmpiPingPong)->Arg(64)->Arg(65536);
+
+void BM_SimmpiAllreduce(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    simmpi::launch(nranks, [](simmpi::Communicator& comm) {
+      std::vector<double> v(256, static_cast<double>(comm.rank()));
+      benchmark::DoNotOptimize(comm.allreduce_sum(v));
+    });
+  }
+}
+BENCHMARK(BM_SimmpiAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SimmpiAllreduceAlgorithms(benchmark::State& state) {
+  // Tree (latency-optimal) vs ring (bandwidth-optimal) on a larger vector.
+  const bool ring = state.range(0) != 0;
+  const std::size_t len = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    simmpi::launch(4, [&](simmpi::Communicator& comm) {
+      std::vector<double> v(len, static_cast<double>(comm.rank()));
+      if (ring) {
+        benchmark::DoNotOptimize(comm.allreduce_sum_ring(v));
+      } else {
+        benchmark::DoNotOptimize(comm.allreduce_sum(v));
+      }
+    });
+  }
+  state.SetLabel(ring ? "ring" : "tree");
+}
+BENCHMARK(BM_SimmpiAllreduceAlgorithms)
+    ->Args({0, 1 << 10})
+    ->Args({1, 1 << 10})
+    ->Args({0, 1 << 17})
+    ->Args({1, 1 << 17});
+
+// --- end-to-end analytics per element ---------------------------------------
+
+void BM_HistogramEndToEnd(benchmark::State& state) {
+  const auto data = bench_data(1 << 16);
+  Histogram<double> hist(SchedArgs(static_cast<int>(state.range(0)), 1), -5.0, 5.0, 100);
+  for (auto _ : state) {
+    hist.run(data.data(), data.size(), nullptr, 0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_HistogramEndToEnd)->Arg(1)->Arg(4);
+
+void BM_MovingAverageEndToEnd(benchmark::State& state) {
+  const auto data = bench_data(1 << 14);
+  const bool trigger = state.range(0) != 0;
+  RunOptions opts;
+  opts.enable_trigger = trigger;
+  MovingAverage<double> ma(SchedArgs(2, 1), 25, opts);
+  std::vector<double> out(data.size(), 0.0);
+  for (auto _ : state) {
+    ma.run2(data.data(), data.size(), out.data(), out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+  state.SetLabel(trigger ? "early-emission" : "no-trigger");
+}
+BENCHMARK(BM_MovingAverageEndToEnd)->Arg(1)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

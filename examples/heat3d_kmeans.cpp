@@ -1,0 +1,57 @@
+// In-situ iterative analytics across a simulated cluster: Heat3D + k-means
+// in time-sharing mode (the paper's Figure 1 / Listing 1 scenario).
+//
+// Four simmpi ranks each own a slab of the global heat-diffusion domain.
+// After every simulation step, each rank launches the SAME Smart k-means
+// job on its in-memory slab (zero copy); the global combination gives every
+// rank the cluster centroids of the *global* temperature field, and the
+// centroids of one step seed the next step — the paper's "tracking the
+// movement of centroids across time-steps".
+//
+//   $ ./heat3d_kmeans
+#include <cstdio>
+#include <vector>
+
+#include "analytics/kmeans.h"
+#include "sim/heat3d.h"
+#include "simmpi/world.h"
+
+int main() {
+  using namespace smart;
+  constexpr int kRanks = 4;
+  constexpr int kSteps = 6;
+  constexpr std::size_t kK = 4;     // temperature clusters
+  constexpr std::size_t kDims = 1;  // scalar field: 1-D feature
+
+  simmpi::launch(kRanks, [&](simmpi::Communicator& comm) {
+    ThreadPool sim_pool(2);
+    sim::Heat3D heat({.nx = 24, .ny = 24, .nz_local = 16}, &comm, &sim_pool);
+
+    // Initial centroids spread over the temperature range [0, 1]; each
+    // step re-seeds from the previous step's result.
+    std::vector<double> centroids = {0.1, 0.4, 0.7, 0.95};
+
+    for (int step = 0; step < kSteps; ++step) {
+      heat.step();
+
+      analytics::KMeansInit seed{centroids.data(), kK, kDims};
+      analytics::KMeans<double> kmeans(SchedArgs(2, kDims, &seed, /*num_iters=*/8), kK, kDims);
+      // Time sharing: the analytics reads the simulation slab in place —
+      // only these three lines are added to the simulation loop.
+      kmeans.run(heat.output(), heat.output_len(), nullptr, 0);
+      centroids = kmeans.centroids();
+
+      if (comm.rank() == 0) {
+        std::printf("step %2d  centroid temperatures:", step + 1);
+        for (double c : centroids) std::printf("  %.4f", c);
+        std::printf("\n");
+      }
+    }
+    if (comm.rank() == 0) {
+      std::printf("\nEvery rank holds the same global centroids after the global\n"
+                  "combination; re-seeding each step tracks how the heat front\n"
+                  "moves through the domain.\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Window-based in-situ preprocessing with early emission: MiniLulesh +
+// Savitzky-Golay smoothing and moving median, the paper's Section 4
+// workloads.
+//
+// Window analytics produce a *per-partition* output (global combination is
+// off), and the trigger mechanism emits each window's reduction object the
+// moment it is complete, so the live object count stays at O(window)
+// instead of O(step size) — watch the peak_objects column.
+//
+//   $ ./lulesh_window_smoothing
+#include <cstdio>
+#include <vector>
+
+#include "analytics/moving_median.h"
+#include "analytics/savitzky_golay.h"
+#include "sim/minilulesh.h"
+#include "simmpi/world.h"
+
+int main() {
+  using namespace smart;
+  constexpr int kRanks = 2;
+  constexpr int kSteps = 4;
+
+  simmpi::launch(kRanks, [&](simmpi::Communicator& comm) {
+    sim::MiniLulesh lulesh({.edge = 20}, &comm);
+
+    // A smoothing pipeline on the energy field: Savitzky-Golay filter
+    // (window 9, quadratic) for denoising and a moving median (window 11)
+    // for spike rejection — both window-based Smart jobs using run2.
+    analytics::SavitzkyGolay<double> smoother(SchedArgs(2, 1), /*window=*/9, /*poly_order=*/2);
+    analytics::MovingMedian<double> median(SchedArgs(2, 1), /*window=*/11);
+
+    std::vector<double> smoothed(lulesh.output_len(), 0.0);
+    std::vector<double> medians(lulesh.output_len(), 0.0);
+
+    for (int step = 0; step < kSteps; ++step) {
+      lulesh.step();
+      smoother.run2(lulesh.output(), lulesh.output_len(), smoothed.data(), smoothed.size());
+      median.run2(lulesh.output(), lulesh.output_len(), medians.data(), medians.size());
+
+      if (comm.rank() == 0) {
+        // Two probes: next to the blast front (where the polynomial filter
+        // rings, the classic Savitzky-Golay overshoot at a shock, while
+        // the median stays robust) and deep in the quiet region.
+        const std::size_t shock = 5;
+        const std::size_t quiet = lulesh.output_len() / 2;
+        std::printf(
+            "step %d  shock: raw=%.3f sg=%.3f median=%.3f | quiet: raw=%.3f sg=%.3f "
+            "median=%.3f | peak objs sg=%zu med=%zu, early emitted %zu+%zu\n",
+            step + 1, lulesh.output()[shock], smoothed[shock], medians[shock],
+            lulesh.output()[quiet], smoothed[quiet], medians[quiet],
+            smoother.stats().peak_reduction_objects, median.stats().peak_reduction_objects,
+            smoother.stats().early_emissions, median.stats().early_emissions);
+      }
+    }
+    if (comm.rank() == 0) {
+      std::printf(
+          "\n%zu elements per step, but only ~window-many reduction objects were ever\n"
+          "live at once thanks to early emission (Algorithm 2).\n",
+          lulesh.output_len());
+    }
+  });
+  return 0;
+}

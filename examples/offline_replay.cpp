@@ -1,0 +1,50 @@
+// Offline replay: the SAME analytics code, store-first-analyze-after.
+//
+// The paper's motivating property (Section 1.1): under Smart's API the
+// in-situ and offline analytics codes are identical — only the data source
+// changes.  This example simulates a short Heat3D run, persists every step
+// with the StepStore, then replays the files through the same
+// MutualInformation scheduler an in-situ run would use, and reports the I/O
+// that in-situ processing would have avoided (the paper's Figure 1 story).
+//
+//   $ ./offline_replay
+#include <cstdio>
+
+#include "analytics/mutual_information.h"
+#include "common/table.h"
+#include "baselines/offline.h"
+#include "sim/heat3d.h"
+
+int main() {
+  using namespace smart;
+  constexpr int kSteps = 5;
+
+  baselines::StepStore store("/tmp/smart_offline_replay");
+
+  // Phase 1: simulate and persist (what a traditional pipeline does).
+  {
+    sim::Heat3D heat({.nx = 24, .ny = 24, .nz_local = 24}, nullptr);
+    for (int step = 0; step < kSteps; ++step) {
+      heat.step();
+      store.write_step(/*rank=*/0, step, heat.output(), heat.output_len());
+    }
+  }
+
+  // Phase 2: load each step back and run the analytics — the code below is
+  // byte-for-byte what the in-situ loop would call on heat.output().
+  analytics::MutualInformation<double> mi(SchedArgs(2, 2), 0.0, 1.0, 32, 32);
+  for (int step = 0; step < kSteps; ++step) {
+    const std::vector<double> data = store.read_step(0, step);
+    mi.run(data.data(), data.size(), nullptr, 0);
+    std::printf("step %d  MI(adjacent temperature pairs) = %.4f nats\n", step + 1, mi.mi());
+  }
+
+  std::printf("\nstore-first-analyze-after I/O this run paid (and in-situ avoids):\n"
+              "  wrote %s in %s, read %s back in %s\n",
+              format_bytes(store.bytes_written()).c_str(),
+              format_seconds(store.write_seconds()).c_str(),
+              format_bytes(store.bytes_read()).c_str(),
+              format_seconds(store.read_seconds()).c_str());
+  store.cleanup();
+  return 0;
+}

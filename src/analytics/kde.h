@@ -1,0 +1,80 @@
+// Gaussian kernel density estimation over a sliding window (window-based
+// analytics, paper Section 5.1): the local density at each element's value,
+// estimated from its window neighbors with a Gaussian kernel of bandwidth h:
+//
+//   density(i) = 1/(n_i * h * sqrt(2*pi)) * sum_{j in win(i)} exp(-(x_j - x_i)^2 / (2 h^2))
+//
+// The kernel term needs the *center* value x_i while accumulating neighbor
+// j — recovered via the runtime-maintained current key (see
+// Scheduler::current_key and RedObj::key).
+#pragma once
+
+#include <cmath>
+
+#include "analytics/red_objs.h"
+#include "analytics/window_common.h"
+#include "core/scheduler.h"
+
+namespace smart::analytics {
+
+template <class In>
+class KernelDensity : public Scheduler<In, double> {
+ public:
+  KernelDensity(const SchedArgs& args, std::size_t window, double bandwidth, RunOptions opts = {})
+      : Scheduler<In, double>(args, opts), window_(window), h_(bandwidth) {
+    if (window == 0 || window % 2 == 0) {
+      throw std::invalid_argument("KernelDensity: window must be odd");
+    }
+    if (args.chunk_size != 1) {
+      throw std::invalid_argument("KernelDensity: chunk_size must be 1");
+    }
+    if (!(bandwidth > 0.0)) {
+      throw std::invalid_argument("KernelDensity: bandwidth must be positive");
+    }
+    register_red_objs();
+    this->set_global_combination(false);
+  }
+
+  std::size_t window() const { return window_; }
+  double bandwidth() const { return h_; }
+
+ protected:
+  void gen_keys(const Chunk& chunk, const In*, std::vector<int>& keys,
+                const CombinationMap&) const override {
+    window_center_keys(chunk.start, this->total_len(), window_, keys);
+  }
+
+  void accumulate(const Chunk& chunk, const In* data, std::unique_ptr<RedObj>& red_obj) override {
+    const auto center = static_cast<std::size_t>(this->current_key());
+    if (!red_obj) {
+      auto obj = std::make_unique<KdeObj>();
+      obj->window = clipped_window_size(center, this->total_len(), window_);
+      red_obj = std::move(obj);
+    }
+    auto& kde = static_cast<KdeObj&>(*red_obj);
+    const double u = (static_cast<double>(data[chunk.start]) - static_cast<double>(data[center])) / h_;
+    kde.kernel_sum += std::exp(-0.5 * u * u);
+    kde.count += 1;
+  }
+
+  void merge(const RedObj& red_obj, std::unique_ptr<RedObj>& com_obj) override {
+    const auto& src = static_cast<const KdeObj&>(red_obj);
+    auto& dst = static_cast<KdeObj&>(*com_obj);
+    dst.kernel_sum += src.kernel_sum;
+    dst.count += src.count;
+  }
+
+  void convert(const RedObj& red_obj, double* out) const override {
+    const auto& kde = static_cast<const KdeObj&>(red_obj);
+    constexpr double kSqrt2Pi = 2.5066282746310002;
+    *out = kde.count > 0
+               ? kde.kernel_sum / (static_cast<double>(kde.count) * h_ * kSqrt2Pi)
+               : 0.0;
+  }
+
+ private:
+  std::size_t window_;
+  double h_;
+};
+
+}  // namespace smart::analytics

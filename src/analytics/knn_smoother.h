@@ -1,0 +1,77 @@
+// K-nearest-neighbor smoother (paper Section 4.1's Θ(K) reduction-object
+// example): each output position is the mean of the K window elements whose
+// *values* are closest to the center element's value — an edge-preserving
+// smoother (neighbors across a discontinuity are excluded).
+//
+// Window-based: gen_keys maps each element to the window centers it can
+// serve; the reduction object keeps only the K best candidates, between the
+// moving average's Θ(1) and the moving median's Θ(W).
+#pragma once
+
+#include <cmath>
+
+#include "analytics/red_objs.h"
+#include "analytics/window_common.h"
+#include "core/scheduler.h"
+
+namespace smart::analytics {
+
+template <class In>
+class KnnSmoother : public Scheduler<In, double> {
+ public:
+  KnnSmoother(const SchedArgs& args, std::size_t window, std::size_t k, RunOptions opts = {})
+      : Scheduler<In, double>(args, opts), window_(window), k_(k) {
+    if (window == 0 || window % 2 == 0) {
+      throw std::invalid_argument("KnnSmoother: window must be odd");
+    }
+    if (k == 0 || k > window) {
+      throw std::invalid_argument("KnnSmoother: need 1 <= k <= window");
+    }
+    if (args.chunk_size != 1) {
+      throw std::invalid_argument("KnnSmoother: chunk_size must be 1");
+    }
+    register_red_objs();
+    this->set_global_combination(false);
+  }
+
+  std::size_t window() const { return window_; }
+  std::size_t k() const { return k_; }
+
+ protected:
+  void gen_keys(const Chunk& chunk, const In*, std::vector<int>& keys,
+                const CombinationMap&) const override {
+    window_center_keys(chunk.start, this->total_len(), window_, keys);
+  }
+
+  void accumulate(const Chunk& chunk, const In* data, std::unique_ptr<RedObj>& red_obj) override {
+    const auto center = static_cast<std::size_t>(this->current_key());
+    if (!red_obj) {
+      auto obj = std::make_unique<KnnObj>();
+      obj->center = static_cast<double>(data[center]);
+      obj->k = k_;
+      obj->window = clipped_window_size(center, this->total_len(), window_);
+      obj->nearest.reserve(k_);
+      red_obj = std::move(obj);
+    }
+    auto& knn = static_cast<KnnObj&>(*red_obj);
+    knn.offer(static_cast<double>(data[chunk.start]));
+    knn.seen += 1;
+  }
+
+  void merge(const RedObj& red_obj, std::unique_ptr<RedObj>& com_obj) override {
+    const auto& src = static_cast<const KnnObj&>(red_obj);
+    auto& dst = static_cast<KnnObj&>(*com_obj);
+    for (double v : src.nearest) dst.offer(v);
+    dst.seen += src.seen;
+  }
+
+  void convert(const RedObj& red_obj, double* out) const override {
+    *out = static_cast<const KnnObj&>(red_obj).smoothed();
+  }
+
+ private:
+  std::size_t window_;
+  std::size_t k_;
+};
+
+}  // namespace smart::analytics

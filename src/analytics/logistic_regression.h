@@ -1,0 +1,104 @@
+// Logistic regression by batch gradient descent (feature analytics, paper
+// Section 5.1 app 4; dims = 15, iterations = 10 in the Spark comparison).
+//
+// Input layout: records of (dim + 1) elements — features then a {0,1}
+// label — so chunk_size must be dim + 1.  A single reduction object (key 0)
+// carries the weight vector and the accumulated gradient; process_extra_data
+// seeds the initial weights, each iteration's post_combine applies one
+// gradient-descent step (and resets the accumulators to merge identity).
+#pragma once
+
+#include <cmath>
+#include <cstring>
+
+#include "analytics/red_objs.h"
+#include "core/scheduler.h"
+
+namespace smart::analytics {
+
+/// Optional extra_data payload: initial weights (length dim).
+struct LogRegInit {
+  const double* weights = nullptr;
+  std::size_t dim = 0;
+  double learning_rate = 0.1;
+};
+
+template <class In>
+class LogisticRegression : public Scheduler<In, double> {
+ public:
+  /// chunk_size in args must equal dim + 1.
+  LogisticRegression(const SchedArgs& args, std::size_t dim, double learning_rate = 0.1,
+                     RunOptions opts = {})
+      : Scheduler<In, double>(args, opts), dim_(dim), learning_rate_(learning_rate) {
+    if (args.chunk_size != dim + 1) {
+      throw std::invalid_argument("LogisticRegression: chunk_size must be dim + 1");
+    }
+    register_red_objs();
+  }
+
+  /// Learned weights after run(); empty before the first run.
+  std::vector<double> weights() const {
+    const auto& map = this->get_combination_map();
+    const auto it = map.find(0);
+    if (it == map.end()) return {};
+    return static_cast<const GradObj&>(*it->second).weights;
+  }
+
+  std::size_t dim() const { return dim_; }
+
+ protected:
+  int gen_key(const Chunk&, const In*, const CombinationMap&) const override { return 0; }
+
+  void process_extra_data(const void* extra_data, CombinationMap& com_map) override {
+    auto obj = std::make_unique<GradObj>();
+    obj->weights.assign(dim_, 0.0);
+    obj->grad.assign(dim_, 0.0);
+    obj->learning_rate = learning_rate_;
+    if (extra_data != nullptr) {
+      const auto* init = static_cast<const LogRegInit*>(extra_data);
+      if (init->dim != dim_) {
+        throw std::invalid_argument("LogisticRegression: extra_data dim mismatch");
+      }
+      obj->weights.assign(init->weights, init->weights + init->dim);
+      obj->learning_rate = init->learning_rate;
+    }
+    com_map.emplace(0, std::move(obj));
+  }
+
+  void accumulate(const Chunk& chunk, const In* data, std::unique_ptr<RedObj>& red_obj) override {
+    // The reduction object is always a distributed clone carrying the
+    // current weights (paper Algorithm 1 line 6), so no null check.
+    auto& g = static_cast<GradObj&>(*red_obj);
+    const In* x = data + chunk.start;
+    double dot = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) dot += g.weights[d] * static_cast<double>(x[d]);
+    const double label = static_cast<double>(x[dim_]);
+    const double residual = 1.0 / (1.0 + std::exp(-dot)) - label;
+    for (std::size_t d = 0; d < dim_; ++d) g.grad[d] += residual * static_cast<double>(x[d]);
+    g.count += 1;
+  }
+
+  void merge(const RedObj& red_obj, std::unique_ptr<RedObj>& com_obj) override {
+    const auto& src = static_cast<const GradObj&>(red_obj);
+    auto& dst = static_cast<GradObj&>(*com_obj);
+    for (std::size_t d = 0; d < dst.grad.size(); ++d) dst.grad[d] += src.grad[d];
+    dst.count += src.count;
+  }
+
+  void post_combine(CombinationMap& com_map) override {
+    for (auto& [key, obj] : com_map) static_cast<GradObj&>(*obj).update();
+  }
+
+  /// Writes the weight vector into out[0..dim); the output array must
+  /// therefore hold at least dim doubles and the only key is 0.
+  void convert(const RedObj& red_obj, double* out) const override {
+    const auto& g = static_cast<const GradObj&>(red_obj);
+    std::memcpy(out, g.weights.data(), g.weights.size() * sizeof(double));
+  }
+
+ private:
+  std::size_t dim_;
+  double learning_rate_;
+};
+
+}  // namespace smart::analytics

@@ -1,0 +1,95 @@
+// 2-D windowed moving average: smoothing over a plane of a simulation slab
+// rather than a 1-D sequence — the structural-window counterpart of
+// Listing 5, exercising positional multi-key generation in two dimensions.
+//
+// The input is an nx * ny row-major plane; every element contributes to the
+// square windows (side `window`, odd) centered within half a window of it,
+// clipped at the plane boundary.  The same WinObj / early-emission
+// machinery as the 1-D moving average applies: the trigger fires when a
+// center has received its full (clipped) neighborhood.
+#pragma once
+
+#include "analytics/red_objs.h"
+#include "core/scheduler.h"
+
+namespace smart::analytics {
+
+template <class In>
+class MovingAverage2D : public Scheduler<In, double> {
+ public:
+  MovingAverage2D(const SchedArgs& args, std::size_t nx, std::size_t ny, std::size_t window,
+                  RunOptions opts = {})
+      : Scheduler<In, double>(args, opts), nx_(nx), ny_(ny), window_(window) {
+    if (window == 0 || window % 2 == 0) {
+      throw std::invalid_argument("MovingAverage2D: window must be odd");
+    }
+    if (args.chunk_size != 1) {
+      throw std::invalid_argument("MovingAverage2D: chunk_size must be 1");
+    }
+    if (nx == 0 || ny == 0) throw std::invalid_argument("MovingAverage2D: zero extent");
+    register_red_objs();
+    this->set_global_combination(false);
+  }
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t window() const { return window_; }
+
+ protected:
+  void gen_keys(const Chunk& chunk, const In*, std::vector<int>& keys,
+                const CombinationMap&) const override {
+    const std::size_t half = window_ / 2;
+    const std::size_t x = chunk.start % nx_;
+    const std::size_t y = chunk.start / nx_;
+    const std::size_t x_lo = x >= half ? x - half : 0;
+    const std::size_t x_hi = std::min(x + half, nx_ - 1);
+    const std::size_t y_lo = y >= half ? y - half : 0;
+    const std::size_t y_hi = std::min(y + half, ny_ - 1);
+    for (std::size_t cy = y_lo; cy <= y_hi; ++cy) {
+      for (std::size_t cx = x_lo; cx <= x_hi; ++cx) {
+        keys.push_back(static_cast<int>(cy * nx_ + cx));
+      }
+    }
+  }
+
+  void accumulate(const Chunk& chunk, const In* data, std::unique_ptr<RedObj>& red_obj) override {
+    if (!red_obj) {
+      auto obj = std::make_unique<WinObj>();
+      obj->window = clipped_area(static_cast<std::size_t>(this->current_key()));
+      red_obj = std::move(obj);
+    }
+    auto& win = static_cast<WinObj&>(*red_obj);
+    win.sum += static_cast<double>(data[chunk.start]);
+    win.count += 1;
+  }
+
+  void merge(const RedObj& red_obj, std::unique_ptr<RedObj>& com_obj) override {
+    const auto& src = static_cast<const WinObj&>(red_obj);
+    auto& dst = static_cast<WinObj&>(*com_obj);
+    dst.sum += src.sum;
+    dst.count += src.count;
+  }
+
+  void convert(const RedObj& red_obj, double* out) const override {
+    const auto& win = static_cast<const WinObj&>(red_obj);
+    *out = win.count > 0 ? win.sum / static_cast<double>(win.count) : 0.0;
+  }
+
+ private:
+  /// Elements a clipped square window centered at linear position `center`
+  /// covers (the early-emission threshold for that center).
+  std::size_t clipped_area(std::size_t center) const {
+    const std::size_t half = window_ / 2;
+    const std::size_t x = center % nx_;
+    const std::size_t y = center / nx_;
+    const std::size_t w = std::min(x + half, nx_ - 1) - (x >= half ? x - half : 0) + 1;
+    const std::size_t h = std::min(y + half, ny_ - 1) - (y >= half ? y - half : 0) + 1;
+    return w * h;
+  }
+
+  std::size_t nx_;
+  std::size_t ny_;
+  std::size_t window_;
+};
+
+}  // namespace smart::analytics

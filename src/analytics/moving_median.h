@@ -1,0 +1,62 @@
+// Moving median (window-based analytics): median is holistic, so every
+// reduction object must retain all covered elements — Θ(W) per object, the
+// expensive end of the paper's Section 4.1 space analysis and the workload
+// of Figure 11(b).
+#pragma once
+
+#include "analytics/red_objs.h"
+#include "analytics/window_common.h"
+#include "core/scheduler.h"
+
+namespace smart::analytics {
+
+template <class In>
+class MovingMedian : public Scheduler<In, double> {
+ public:
+  MovingMedian(const SchedArgs& args, std::size_t window, RunOptions opts = {})
+      : Scheduler<In, double>(args, opts), window_(window) {
+    if (window == 0 || window % 2 == 0) {
+      throw std::invalid_argument("MovingMedian: window must be odd");
+    }
+    if (args.chunk_size != 1) {
+      throw std::invalid_argument("MovingMedian: chunk_size must be 1");
+    }
+    register_red_objs();
+    this->set_global_combination(false);
+  }
+
+  std::size_t window() const { return window_; }
+
+ protected:
+  void gen_keys(const Chunk& chunk, const In*, std::vector<int>& keys,
+                const CombinationMap&) const override {
+    window_center_keys(chunk.start, this->total_len(), window_, keys);
+  }
+
+  void accumulate(const Chunk& chunk, const In* data, std::unique_ptr<RedObj>& red_obj) override {
+    if (!red_obj) {
+      auto obj = std::make_unique<WinMedianObj>();
+      obj->window = clipped_window_size(static_cast<std::size_t>(this->current_key()),
+                                        this->total_len(), window_);
+      obj->elems.reserve(obj->window);
+      red_obj = std::move(obj);
+    }
+    static_cast<WinMedianObj&>(*red_obj).elems.push_back(
+        static_cast<double>(data[chunk.start]));
+  }
+
+  void merge(const RedObj& red_obj, std::unique_ptr<RedObj>& com_obj) override {
+    const auto& src = static_cast<const WinMedianObj&>(red_obj);
+    auto& dst = static_cast<WinMedianObj&>(*com_obj);
+    dst.elems.insert(dst.elems.end(), src.elems.begin(), src.elems.end());
+  }
+
+  void convert(const RedObj& red_obj, double* out) const override {
+    *out = static_cast<const WinMedianObj&>(red_obj).median();
+  }
+
+ private:
+  std::size_t window_;
+};
+
+}  // namespace smart::analytics

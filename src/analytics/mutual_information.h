@@ -1,0 +1,95 @@
+// Mutual information between two variables (similarity analytics, paper
+// Section 5.1 app 3): the input is interpreted as (x, y) pairs
+// (chunk_size = 2); a joint 2-D histogram is reduced in place and the MI
+// statistic is computed from the final combination map — the "nuanced
+// MapReduce pipeline" the paper mentions in Section 5.8.
+#pragma once
+
+#include <cmath>
+
+#include "analytics/red_objs.h"
+#include "core/scheduler.h"
+
+namespace smart::analytics {
+
+template <class In>
+class MutualInformation : public Scheduler<In, double> {
+ public:
+  /// buckets_x * buckets_y joint cells over [min, max] per variable
+  /// (the paper uses 100 x 100 = 10,000 cells).
+  MutualInformation(const SchedArgs& args, double min, double max, int buckets_x, int buckets_y,
+                    RunOptions opts = {})
+      : Scheduler<In, double>(args, opts),
+        min_(min),
+        width_x_((max - min) / buckets_x),
+        width_y_((max - min) / buckets_y),
+        bx_(buckets_x),
+        by_(buckets_y) {
+    if (args.chunk_size != 2) {
+      throw std::invalid_argument("MutualInformation: chunk_size must be 2 (x,y pairs)");
+    }
+    if (buckets_x <= 0 || buckets_y <= 0 || !(max > min)) {
+      throw std::invalid_argument("MutualInformation: bad bucket configuration");
+    }
+    register_red_objs();
+  }
+
+  /// MI (nats) from a combination map of CellObj joint counts.
+  double mi() const { return mi_from_map(this->get_combination_map(), bx_, by_); }
+
+  static double mi_from_map(const CombinationMap& map, int bx, int by) {
+    std::vector<double> px(static_cast<std::size_t>(bx), 0.0);
+    std::vector<double> py(static_cast<std::size_t>(by), 0.0);
+    double total = 0.0;
+    for (const auto& [key, obj] : map) {
+      const auto c = static_cast<double>(static_cast<const CellObj&>(*obj).count);
+      px[static_cast<std::size_t>(key / by)] += c;
+      py[static_cast<std::size_t>(key % by)] += c;
+      total += c;
+    }
+    if (total == 0.0) return 0.0;
+    double mi = 0.0;
+    for (const auto& [key, obj] : map) {
+      const auto c = static_cast<double>(static_cast<const CellObj&>(*obj).count);
+      if (c == 0.0) continue;
+      const double pxy = c / total;
+      const double marginal =
+          (px[static_cast<std::size_t>(key / by)] / total) * (py[static_cast<std::size_t>(key % by)] / total);
+      mi += pxy * std::log(pxy / marginal);
+    }
+    return mi;
+  }
+
+  int buckets_x() const { return bx_; }
+  int buckets_y() const { return by_; }
+
+ protected:
+  int gen_key(const Chunk& chunk, const In* data, const CombinationMap&) const override {
+    const int ix = clamp_bucket(static_cast<double>(data[chunk.start]), width_x_, bx_);
+    const int iy = clamp_bucket(static_cast<double>(data[chunk.start + 1]), width_y_, by_);
+    return ix * by_ + iy;
+  }
+
+  void accumulate(const Chunk&, const In*, std::unique_ptr<RedObj>& red_obj) override {
+    if (!red_obj) red_obj = std::make_unique<CellObj>();
+    static_cast<CellObj&>(*red_obj).count += 1;
+  }
+
+  void merge(const RedObj& red_obj, std::unique_ptr<RedObj>& com_obj) override {
+    static_cast<CellObj&>(*com_obj).count += static_cast<const CellObj&>(red_obj).count;
+  }
+
+ private:
+  int clamp_bucket(double x, double width, int buckets) const {
+    const int b = static_cast<int>(std::floor((x - min_) / width));
+    return b < 0 ? 0 : (b >= buckets ? buckets - 1 : b);
+  }
+
+  double min_;
+  double width_x_;
+  double width_y_;
+  int bx_;
+  int by_;
+};
+
+}  // namespace smart::analytics

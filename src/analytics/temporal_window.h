@@ -1,0 +1,54 @@
+// Temporal sliding windows: analytics over the last W *time-steps* (the
+// other reading of the paper's Section 4 "analytics for specific ranges of
+// time-steps").  Rather than re-reducing W steps of raw data — impossible
+// in situ, the steps are gone — the driver keeps one combination-map
+// snapshot per step in a ring and merges the live window on demand, giving
+// O(W * |map|) memory independent of step size.
+#pragma once
+
+#include <deque>
+#include <stdexcept>
+
+#include "core/scheduler.h"
+
+namespace smart::analytics {
+
+/// Maintains snapshots of the last `window` per-step results of a scheduler
+/// whose merge is associative/commutative (any of the bucketed/statistical
+/// apps).  After each step's run(), call push(); windowed() materializes the
+/// merged map of the current window into the scheduler for reading.
+template <typename In, typename Out>
+class TemporalWindow {
+ public:
+  TemporalWindow(Scheduler<In, Out>& sched, std::size_t window)
+      : sched_(sched), window_(window) {
+    if (window == 0) throw std::invalid_argument("TemporalWindow: window must be positive");
+  }
+
+  /// Records the scheduler's current (single-step) result.
+  void push() {
+    snapshots_.push_back(sched_.snapshot());
+    if (snapshots_.size() > window_) snapshots_.pop_front();
+  }
+
+  std::size_t size() const { return snapshots_.size(); }
+  std::size_t window() const { return window_; }
+
+  /// Replaces the scheduler's combination map with the merge of the live
+  /// window (use get_combination_map()/convert_combination_map() after).
+  void materialize_window() {
+    if (snapshots_.empty()) {
+      throw std::logic_error("TemporalWindow: nothing pushed yet");
+    }
+    sched_.reset_combination_map();
+    for (const auto& snap : snapshots_) sched_.absorb(snap);
+    sched_.run_post_combine();
+  }
+
+ private:
+  Scheduler<In, Out>& sched_;
+  std::size_t window_;
+  std::deque<Buffer> snapshots_;
+};
+
+}  // namespace smart::analytics

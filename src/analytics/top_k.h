@@ -1,0 +1,126 @@
+// Top-K extrema with positions (feature analytics class): the K largest
+// field values and where they sit — the in-situ "hotspot finder" pattern
+// (e.g. locating blast fronts or temperature peaks while the data is still
+// in memory).  A single reduction object holds a bounded min-heap of
+// (value, position) pairs; merge folds two heaps, so the result is exact
+// under any partitioning.
+#pragma once
+
+#include <algorithm>
+
+#include "analytics/red_objs.h"
+#include "core/scheduler.h"
+
+namespace smart::analytics {
+
+struct TopKObj : RedObj {
+  struct Item {
+    double value = 0.0;
+    std::uint64_t position = 0;
+  };
+
+  std::vector<Item> heap;  ///< min-heap on value: heap.front() is the weakest kept
+  std::size_t k = 0;
+
+  std::string type_name() const override { return "TopKObj"; }
+  std::unique_ptr<RedObj> clone() const override { return std::make_unique<TopKObj>(*this); }
+  void serialize(Writer& w) const override {
+    w.write<std::uint64_t>(k);
+    w.write<std::uint64_t>(heap.size());
+    for (const auto& item : heap) {
+      w.write(item.value);
+      w.write(item.position);
+    }
+  }
+  void deserialize(Reader& r) override {
+    k = r.read<std::uint64_t>();
+    const auto n = r.read<std::uint64_t>();
+    heap.clear();
+    heap.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Item item;
+      item.value = r.read<double>();
+      item.position = r.read<std::uint64_t>();
+      heap.push_back(item);
+    }
+  }
+  std::size_t footprint_bytes() const override {
+    return sizeof(*this) + heap.capacity() * sizeof(Item);
+  }
+
+  static bool weaker(const Item& a, const Item& b) {
+    // Strict ordering with position tiebreak keeps results deterministic.
+    return a.value != b.value ? a.value > b.value : a.position < b.position;
+  }
+
+  void offer(double value, std::uint64_t position) {
+    const Item item{value, position};
+    if (heap.size() < k) {
+      heap.push_back(item);
+      std::push_heap(heap.begin(), heap.end(), weaker);
+      return;
+    }
+    if (weaker(heap.front(), item)) return;  // weakest kept still beats it
+    std::pop_heap(heap.begin(), heap.end(), weaker);
+    heap.back() = item;
+    std::push_heap(heap.begin(), heap.end(), weaker);
+  }
+
+  /// Kept items, strongest first.
+  std::vector<Item> sorted() const {
+    std::vector<Item> out = heap;
+    std::sort(out.begin(), out.end(), [](const Item& a, const Item& b) {
+      return a.value != b.value ? a.value > b.value : a.position < b.position;
+    });
+    return out;
+  }
+};
+
+template <class In>
+class TopK : public Scheduler<In, double> {
+ public:
+  TopK(const SchedArgs& args, std::size_t k, RunOptions opts = {})
+      : Scheduler<In, double>(args, opts), k_(k) {
+    if (k == 0) throw std::invalid_argument("TopK: k must be positive");
+    if (args.chunk_size != 1) throw std::invalid_argument("TopK: chunk_size must be 1");
+    RedObjRegistry::instance().register_type("TopKObj",
+                                             [] { return std::make_unique<TopKObj>(); });
+  }
+
+  /// The globally combined top-k after run(), strongest first.  Positions
+  /// are partition-local; multi-rank callers add their partition offset
+  /// via the position_offset argument of run-site bookkeeping.
+  std::vector<TopKObj::Item> top() const {
+    const auto& map = this->get_combination_map();
+    const auto it = map.find(0);
+    if (it == map.end()) return {};
+    return static_cast<const TopKObj&>(*it->second).sorted();
+  }
+
+  std::size_t k() const { return k_; }
+
+ protected:
+  int gen_key(const Chunk&, const In*, const CombinationMap&) const override { return 0; }
+
+  void accumulate(const Chunk& chunk, const In* data, std::unique_ptr<RedObj>& red_obj) override {
+    if (!red_obj) {
+      auto obj = std::make_unique<TopKObj>();
+      obj->k = k_;
+      obj->heap.reserve(k_);
+      red_obj = std::move(obj);
+    }
+    static_cast<TopKObj&>(*red_obj).offer(static_cast<double>(data[chunk.start]),
+                                          static_cast<std::uint64_t>(chunk.start));
+  }
+
+  void merge(const RedObj& red_obj, std::unique_ptr<RedObj>& com_obj) override {
+    const auto& src = static_cast<const TopKObj&>(red_obj);
+    auto& dst = static_cast<TopKObj&>(*com_obj);
+    for (const auto& item : src.heap) dst.offer(item.value, item.position);
+  }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace smart::analytics

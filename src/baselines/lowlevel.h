@@ -1,0 +1,32 @@
+// Hand-written low-level analytics: the paper's Section 5.3 comparators.
+//
+// These are what a programmer writes without Smart: explicit threading,
+// contiguous partial-sum arrays, and a single allreduce per iteration (the
+// MPI_Allreduce pattern the paper credits for the baseline's edge — no
+// map structures, no per-object serialization).  They produce bit-identical
+// results to the Smart versions and let the benches measure the middleware
+// overhead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simmpi/world.h"
+#include "threading/thread_pool.h"
+
+namespace smart::baselines {
+
+/// Hand-written k-means over this rank's points (rows of `dims`); comm may
+/// be nullptr for single-process runs.  Returns final centroids.
+std::vector<double> lowlevel_kmeans(const double* points, std::size_t num_points,
+                                    std::size_t dims, std::size_t k, int iterations,
+                                    const std::vector<double>& init_centroids,
+                                    ThreadPool& pool, simmpi::Communicator* comm);
+
+/// Hand-written logistic regression over this rank's records (rows of
+/// dim + 1 with trailing label).  Returns final weights.
+std::vector<double> lowlevel_logreg(const double* records, std::size_t num_records,
+                                    std::size_t dim, int iterations, double learning_rate,
+                                    ThreadPool& pool, simmpi::Communicator* comm);
+
+}  // namespace smart::baselines

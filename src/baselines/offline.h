@@ -1,0 +1,75 @@
+// The store-first-analyze-after pipeline: the offline baseline of the
+// paper's Figure 1 case study.  Each simulation time-step is written to
+// persistent storage; the analytics later loads every step back and runs
+// the *same* Smart scheduler on it (the paper's point that in-situ and
+// offline analytics code coincide under Smart's API).
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smart::baselines {
+
+/// Writes/reads raw double slabs under a run directory, one file per
+/// (rank, step).  Accumulates I/O byte counts and wall time so the bench
+/// can report the I/O overhead bar of Figure 1.
+class StepStore {
+ public:
+  /// Creates (or reuses) `dir`; files are truncated per write.
+  explicit StepStore(std::string dir);
+
+  void write_step(int rank, int step, const double* data, std::size_t len);
+  std::vector<double> read_step(int rank, int step) const;
+
+  /// Removes every file this store wrote.
+  void cleanup();
+
+  std::size_t bytes_written() const { return bytes_written_; }
+  std::size_t bytes_read() const { return bytes_read_; }
+  double write_seconds() const { return write_seconds_; }
+  double read_seconds() const { return read_seconds_; }
+
+ private:
+  std::string path_for(int rank, int step) const;
+
+  std::string dir_;
+  std::vector<std::string> written_;
+  std::size_t bytes_written_ = 0;
+  mutable std::size_t bytes_read_ = 0;
+  double write_seconds_ = 0.0;
+  mutable double read_seconds_ = 0.0;
+};
+
+/// Streams a large raw-double file through an analytics job in bounded
+/// blocks — the offline counterpart of feeding one time-step at a time,
+/// for datasets that do not fit in memory.  Usage:
+///
+///   BlockReader reader(path, /*block_elems=*/1 << 20);
+///   while (auto block = reader.next()) {
+///     scheduler.run(block->data(), block->size(), nullptr, 0);
+///   }
+class BlockReader {
+ public:
+  BlockReader(const std::string& path, std::size_t block_elems);
+  ~BlockReader();
+
+  BlockReader(const BlockReader&) = delete;
+  BlockReader& operator=(const BlockReader&) = delete;
+
+  /// Next block of up to block_elems doubles; nullopt at end of file.
+  std::optional<std::vector<double>> next();
+
+  std::size_t blocks_read() const { return blocks_read_; }
+  std::size_t elements_read() const { return elements_read_; }
+
+ private:
+  std::FILE* file_;
+  std::size_t block_elems_;
+  std::size_t blocks_read_ = 0;
+  std::size_t elements_read_ = 0;
+};
+
+}  // namespace smart::baselines

@@ -1,0 +1,32 @@
+// Benchmark-scale knobs read from the environment.
+//
+// The paper runs TB-scale workloads on hundreds of cores; the harnesses
+// default to MB-scale problems that finish in seconds and multiply every
+// size by SMART_BENCH_SCALE when a larger machine is available.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace smart {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end != v ? parsed : fallback;
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return end != v ? parsed : fallback;
+}
+
+/// Global workload multiplier for all bench harnesses (default 1.0).
+inline double bench_scale() { return env_double("SMART_BENCH_SCALE", 1.0); }
+
+}  // namespace smart

@@ -1,0 +1,62 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Every generator is seeded explicitly so tests and benches are repeatable;
+// splitmix64 is used to derive decorrelated per-rank / per-thread streams
+// from one master seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace smart {
+
+/// splitmix64 step: cheap, high-quality seed scrambler.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives a decorrelated stream seed for (master, lane).
+inline std::uint64_t derive_seed(std::uint64_t master, std::uint64_t lane) {
+  std::uint64_t s = master ^ (0x85ebca6bULL * (lane + 1));
+  splitmix64(s);
+  return splitmix64(s);
+}
+
+/// Convenience wrapper over mt19937_64 with the distributions the
+/// workload generators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  double gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Vector of iid gaussians, the paper's Spark-comparison emulator payload.
+  std::vector<double> gaussian_vector(std::size_t n, double mean = 0.0, double stddev = 1.0) {
+    std::vector<double> v(n);
+    std::normal_distribution<double> dist(mean, stddev);
+    for (auto& x : v) x = dist(engine_);
+    return v;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace smart

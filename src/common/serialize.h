@@ -1,0 +1,133 @@
+// Byte-buffer serialization used everywhere data crosses a rank boundary.
+//
+// Smart's global combination phase serializes reduction objects before they
+// travel between ranks (the paper's Section 5.3 calls this step out as the
+// main overhead versus a hand-written MPI_Allreduce).  The simmpi substrate
+// carries *only* serialized bytes between rank mailboxes, so any type that
+// wants to cross a rank boundary must round-trip through Writer/Reader.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace smart {
+
+/// Growable byte buffer; the unit of exchange between simmpi ranks.
+using Buffer = std::vector<std::byte>;
+
+/// Appends primitives, strings and trivially-copyable spans to a Buffer.
+class Writer {
+ public:
+  explicit Writer(Buffer& out) : out_(out) {}
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Raw bytes, no length prefix.
+  void write_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    write_bytes(&value, sizeof(T));
+  }
+
+  void write_string(const std::string& s) {
+    write<std::uint64_t>(s.size());
+    write_bytes(s.data(), s.size());
+  }
+
+  /// Length-prefixed span of trivially-copyable elements.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_span(const T* data, std::size_t n) {
+    write<std::uint64_t>(n);
+    write_bytes(data, n * sizeof(T));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write_span(v.data(), v.size());
+  }
+
+ private:
+  Buffer& out_;
+};
+
+/// Reads values back in the order a Writer produced them.
+class Reader {
+ public:
+  Reader(const std::byte* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Reader(const Buffer& buf) : Reader(buf.data(), buf.size()) {}
+
+  void read_bytes(void* dst, std::size_t n) {
+    if (pos_ + n > size_) {
+      throw std::out_of_range("smart::Reader: read past end of buffer");
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    T value;
+    read_bytes(&value, sizeof(T));
+    return value;
+  }
+
+  std::string read_string() {
+    const auto n = read<std::uint64_t>();
+    check_count(n, 1);
+    std::string s(n, '\0');
+    read_bytes(s.data(), n);
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto n = read<std::uint64_t>();
+    check_count(n, sizeof(T));
+    std::vector<T> v(n);
+    read_bytes(v.data(), n * sizeof(T));
+    return v;
+  }
+
+  /// Reads a length-prefixed span into caller-owned storage of capacity n.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::size_t read_span(T* dst, std::size_t capacity) {
+    const auto n = read<std::uint64_t>();
+    if (n > capacity) {
+      throw std::out_of_range("smart::Reader: span larger than destination");
+    }
+    read_bytes(dst, n * sizeof(T));
+    return n;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  void check_count(std::uint64_t n, std::size_t elem_size) const {
+    if (n > (size_ - pos_) / (elem_size == 0 ? 1 : elem_size)) {
+      throw std::out_of_range("smart::Reader: corrupt length prefix");
+    }
+  }
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace smart

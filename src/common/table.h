@@ -1,0 +1,48 @@
+// Result-table reporter for the per-figure benchmark harnesses.
+//
+// Each bench prints the same series the paper's figure plots: a
+// human-readable aligned table followed by a machine-readable CSV block
+// (between "--- csv ---" markers) so results can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smart {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Starts a new row; values are appended with add()/add_cell.
+  void begin_row();
+  void add(const std::string& value);
+  void add(double value, int precision = 3);
+  void add(std::size_t value);
+  void add(int value);
+
+  /// Full row at once.
+  void add_row(const std::vector<std::string>& cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Aligned human-readable rendering.
+  void print(std::ostream& os, const std::string& title = "") const;
+  /// CSV block with BEGIN/END markers.
+  void print_csv(std::ostream& os, const std::string& tag) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a byte count as a short human string ("1.5 GB").
+std::string format_bytes(std::size_t bytes);
+
+/// Formats seconds with adaptive precision ("12.3 ms", "4.56 s").
+std::string format_seconds(double seconds);
+
+}  // namespace smart

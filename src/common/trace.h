@@ -1,0 +1,106 @@
+// Lightweight phase tracing: named begin/end intervals recorded per thread
+// against one wall-clock origin, dumpable as CSV for timeline plots — how
+// the examples/benches show where a pipeline's time goes without a
+// profiler in the container.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timing.h"
+
+namespace smart {
+
+class PhaseTracer {
+ public:
+  struct Event {
+    std::string phase;
+    std::size_t thread_id = 0;  ///< dense id assigned at first use
+    double begin_seconds = 0.0;
+    double end_seconds = 0.0;
+    double duration() const { return end_seconds - begin_seconds; }
+  };
+
+  PhaseTracer() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// RAII interval recorder.
+  class Scope {
+   public:
+    Scope(PhaseTracer& tracer, std::string phase)
+        : tracer_(&tracer), phase_(std::move(phase)), begin_(tracer.now()) {}
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    ~Scope() {
+      if (tracer_ != nullptr) tracer_->record(phase_, begin_, tracer_->now());
+    }
+
+   private:
+    PhaseTracer* tracer_;
+    std::string phase_;
+    double begin_;
+  };
+
+  Scope scope(std::string phase) { return Scope(*this, std::move(phase)); }
+
+  void record(const std::string& phase, double begin_seconds, double end_seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(Event{phase, dense_thread_id_locked(), begin_seconds, end_seconds});
+  }
+
+  std::vector<Event> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  /// Total recorded time in a phase across all threads.
+  double total(const std::string& phase) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    double sum = 0.0;
+    for (const auto& e : events_) {
+      if (e.phase == phase) sum += e.duration();
+    }
+    return sum;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+
+  /// CSV: phase,thread,begin_s,end_s,duration_s.
+  void dump_csv(std::ostream& os) const {
+    os << "phase,thread,begin_s,end_s,duration_s\n";
+    for (const auto& e : events()) {
+      os << e.phase << ',' << e.thread_id << ',' << e.begin_seconds << ',' << e.end_seconds
+         << ',' << e.duration() << '\n';
+    }
+  }
+
+  /// Seconds since this tracer's construction.
+  double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - origin_).count();
+  }
+
+ private:
+  std::size_t dense_thread_id_locked() {
+    const auto me = std::this_thread::get_id();
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      if (threads_[i] == me) return i;
+    }
+    threads_.push_back(me);
+    return threads_.size() - 1;
+  }
+
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::vector<std::thread::id> threads_;
+};
+
+}  // namespace smart

@@ -1,0 +1,56 @@
+// Mode advisor: operationalizes the paper's Section 5.6 conclusion —
+// "space sharing mode can be advantageous when a simulation program does
+// not scale well with increasing number of cores, but it is not a good fit
+// for the applications involving frequent synchronization."
+//
+// Given measured per-step costs (simulation compute, analytics compute,
+// synchronization) and the node's scaling curves, the advisor evaluates
+// time sharing against every candidate core split and recommends a mode —
+// the calculation the Figure 10 harness performs, packaged as a library
+// facility a deployment can call after a few profiled steps.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smart {
+
+struct ModeCosts {
+  double sim_seconds_per_step = 0.0;   ///< single-thread simulation compute
+  double ana_seconds_per_step = 0.0;   ///< single-thread analytics compute
+  double sync_seconds_per_step = 0.0;  ///< cross-rank combination cost
+};
+
+struct NodeModel {
+  int cores = 0;
+  /// Speedup of the simulation/analytics on t cores.
+  std::function<double(int)> sim_speedup;
+  std::function<double(int)> ana_speedup;
+  /// Synchronization inflation when sim and analytics tasks must serialize
+  /// their message passing (space sharing); the paper's single-threaded-MPI
+  /// effect.  2.0 by default.
+  double space_sync_factor = 2.0;
+};
+
+struct ModeRecommendation {
+  enum class Mode { kTimeSharing, kSpaceSharing } mode = Mode::kTimeSharing;
+  int sim_cores = 0;       ///< meaningful for space sharing
+  int analytics_cores = 0; ///< meaningful for space sharing
+  double time_sharing_seconds = 0.0;
+  double best_space_seconds = 0.0;
+  /// Positive when space sharing wins, as a fraction of time sharing.
+  double advantage() const {
+    return (time_sharing_seconds - best_space_seconds) / time_sharing_seconds;
+  }
+  std::string to_string() const;
+};
+
+/// Evaluates time sharing vs every (sim_cores, ana_cores) split with both
+/// counts >= min_cores_per_side and recommends the cheaper mode.
+ModeRecommendation advise_mode(const ModeCosts& costs, const NodeModel& node,
+                               int min_cores_per_side = 1);
+
+}  // namespace smart

@@ -1,0 +1,20 @@
+// The unit of processing in Smart's reduction phase.
+//
+// A chunk is a contiguous slice of the input array — one "unit element"
+// (e.g. a scalar for histogramming, a feature vector for k-means).  Unlike
+// conventional MapReduce records, chunks carry their *position* in the
+// array, which is what lets Smart support structural analytics (grid
+// aggregation, sliding windows) over the scientific array data model
+// (paper Section 5.8).
+#pragma once
+
+#include <cstddef>
+
+namespace smart {
+
+struct Chunk {
+  std::size_t start = 0;   ///< index of the first element in the input array
+  std::size_t length = 0;  ///< number of elements (the scheduler's chunk_size)
+};
+
+}  // namespace smart

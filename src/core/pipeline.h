@@ -1,0 +1,80 @@
+// Smart job pipelines (paper Sections 3.1 and 5.8): "in many cases the
+// in-situ analytics tasks are deployed as a MapReduce pipeline — some
+// preprocessing steps like smoothing, filtering, and reorganization only
+// have a local output on each partition... by turning off the global
+// combination process, the user can retrieve the output directly in the
+// parallel code region, and then feed the output to the next Smart job."
+//
+// Pipeline wires that up: every stage but the last runs with a
+// per-partition output buffer that becomes the next stage's input; only
+// the terminal stage participates in the global combination.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace smart {
+
+/// A fixed chain of window/record Smart jobs over double arrays.
+///
+/// Stage contract: a stage consumes a block of doubles and produces a block
+/// of doubles of the same length (element-wise preprocessing like
+/// smoothing/filtering).  The terminal consumer is any callable that takes
+/// the final block — typically a scheduler with global combination on.
+class Pipeline {
+ public:
+  /// A preprocessing stage: reads in[0..len), fills out[0..len).
+  using Stage = std::function<void(const double* in, std::size_t len, double* out)>;
+
+  Pipeline& add_stage(std::string name, Stage stage) {
+    names_.push_back(std::move(name));
+    stages_.push_back(std::move(stage));
+    return *this;
+  }
+
+  std::size_t stage_count() const { return stages_.size(); }
+  const std::vector<std::string>& stage_names() const { return names_; }
+
+  /// Runs the chain on one partition; returns the final block (also kept
+  /// internally until the next run).
+  const std::vector<double>& run(const double* data, std::size_t len) {
+    if (stages_.empty()) throw std::logic_error("Pipeline: no stages added");
+    ping_.assign(data, data + len);
+    pong_.assign(len, 0.0);
+    for (auto& stage : stages_) {
+      stage(ping_.data(), len, pong_.data());
+      ping_.swap(pong_);
+    }
+    return ping_;
+  }
+
+  /// Wraps a window scheduler (run2 path, per-partition output) as a stage.
+  template <typename SchedulerT>
+  static Stage window_stage(SchedulerT& sched) {
+    if (sched.global_combination()) {
+      throw std::logic_error("Pipeline: preprocessing stages must be local (global off)");
+    }
+    return [&sched](const double* in, std::size_t len, double* out) {
+      // Window schedulers leave positions without a defined window value
+      // untouched; passing the input through first keeps those positions
+      // meaningful downstream.
+      std::copy(in, in + len, out);
+      sched.run2(in, len, out, len);
+    };
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Stage> stages_;
+  std::vector<double> ping_;
+  std::vector<double> pong_;
+};
+
+}  // namespace smart

@@ -1,0 +1,74 @@
+#include "core/red_obj.h"
+
+#include <stdexcept>
+
+namespace smart {
+
+RedObjRegistry& RedObjRegistry::instance() {
+  static RedObjRegistry registry;
+  return registry;
+}
+
+void RedObjRegistry::register_type(const std::string& name,
+                                   std::function<std::unique_ptr<RedObj>()> factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<RedObj> RedObjRegistry::create(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::runtime_error("RedObjRegistry: unknown reduction object type '" + name + "'");
+  }
+  return it->second();
+}
+
+bool RedObjRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) != 0;
+}
+
+void serialize_map(const CombinationMap& map, Buffer& out) {
+  Writer w(out);
+  w.write<std::uint64_t>(map.size());
+  for (const auto& [key, obj] : map) {
+    w.write<std::int32_t>(key);
+    w.write_string(obj->type_name());
+    obj->serialize(w);
+  }
+}
+
+CombinationMap deserialize_map(Reader& r) {
+  CombinationMap map;
+  const auto n = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto key = r.read<std::int32_t>();
+    const std::string type = r.read_string();
+    std::unique_ptr<RedObj> obj = RedObjRegistry::instance().create(type);
+    obj->deserialize(r);
+    obj->set_key(key);
+    map.emplace(key, std::move(obj));
+  }
+  return map;
+}
+
+void merge_map_into(CombinationMap&& src, CombinationMap& dst, const MergeFn& merge) {
+  for (auto& [key, obj] : src) {
+    auto it = dst.find(key);
+    if (it == dst.end()) {
+      dst.emplace(key, std::move(obj));
+    } else {
+      merge(*obj, it->second);
+    }
+  }
+  src.clear();
+}
+
+std::size_t map_footprint_bytes(const CombinationMap& map) {
+  std::size_t total = 0;
+  for (const auto& [key, obj] : map) total += obj->footprint_bytes();
+  return total;
+}
+
+}  // namespace smart

@@ -1,0 +1,107 @@
+// RedObj: the reduction object at the heart of Smart's alternate API.
+//
+// A reduction object is the *value* of the key-value pairs held in the
+// reduction and combination maps.  All map-side work accumulates in place on
+// these objects — no intermediate key-value pair is ever emitted, which is
+// what removes MapReduce's shuffle phase and its peak-memory blowup
+// (paper Sections 2.3.3 and 3.1).
+//
+// Beyond the paper's listing we require clone() and serialize()/
+// deserialize(): clones implement Algorithm 1's "distribute the combination
+// map to each reduction map", and serialization carries objects across rank
+// boundaries during global combination (the overhead the paper measures in
+// Section 5.3).  trigger() enables the early-emission optimization of
+// Algorithm 2.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/serialize.h"
+
+namespace smart {
+
+class RedObj {
+ public:
+  virtual ~RedObj() = default;
+
+  /// Stable type name used to re-create the object on the receiving rank.
+  virtual std::string type_name() const = 0;
+
+  /// Deep copy (used to distribute the combination map to worker maps).
+  virtual std::unique_ptr<RedObj> clone() const = 0;
+
+  virtual void serialize(Writer& w) const = 0;
+  virtual void deserialize(Reader& r) = 0;
+
+  /// Early-emission condition (Algorithm 2).  When it returns true right
+  /// after an accumulate, the runtime converts this object straight into
+  /// the output array and drops it from the reduction map.  Default: never.
+  virtual bool trigger() const { return false; }
+
+  /// Approximate heap footprint, fed to the logical memory tracker.
+  virtual std::size_t footprint_bytes() const { return sizeof(*this); }
+
+  /// The key this object is filed under; maintained by the runtime so
+  /// position-aware apps (e.g. kernel density) can recover the window
+  /// center inside accumulate().
+  int key() const { return key_; }
+  void set_key(int key) { key_ = key; }
+
+ private:
+  int key_ = 0;
+};
+
+/// The paper's combination-map type: ordered map from integer key to
+/// reduction object (Table 1, get_combination_map).
+using CombinationMap = std::map<int, std::unique_ptr<RedObj>>;
+
+/// Factory registry for polymorphic deserialization during global
+/// combination: every RedObj subclass that can cross a rank boundary must
+/// be registered under its type_name().
+class RedObjRegistry {
+ public:
+  static RedObjRegistry& instance();
+
+  void register_type(const std::string& name, std::function<std::unique_ptr<RedObj>()> factory);
+  std::unique_ptr<RedObj> create(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+ private:
+  RedObjRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::function<std::unique_ptr<RedObj>()>> factories_;
+};
+
+/// Registers T (default-constructible) under `name` at static-init time.
+template <typename T>
+struct RedObjRegistrar {
+  explicit RedObjRegistrar(const std::string& name) {
+    RedObjRegistry::instance().register_type(name, [] { return std::make_unique<T>(); });
+  }
+};
+
+// --- map (de)serialization, shared by global combination and tests --------
+
+/// Wire format: u64 entry count, then per entry {i32 key, type name,
+/// object payload}.
+void serialize_map(const CombinationMap& map, Buffer& out);
+CombinationMap deserialize_map(Reader& r);
+inline CombinationMap deserialize_map(const Buffer& buf) {
+  Reader r(buf);
+  return deserialize_map(r);
+}
+
+/// Merges `src` into `dst` using the app's merge function: existing keys
+/// are merged, new keys are moved (Algorithm 1 lines 11-17).
+using MergeFn = std::function<void(const RedObj&, std::unique_ptr<RedObj>&)>;
+void merge_map_into(CombinationMap&& src, CombinationMap& dst, const MergeFn& merge);
+
+/// Total approximate footprint of a map's objects.
+std::size_t map_footprint_bytes(const CombinationMap& map);
+
+}  // namespace smart

@@ -1,0 +1,36 @@
+// Per-run and cumulative execution statistics exposed by the scheduler.
+// The benchmark harnesses read these to report the quantities the paper's
+// figures plot (phase times, serialized traffic, peak reduction-object
+// counts for the window-analytics optimization).
+#pragma once
+
+#include <cstddef>
+
+namespace smart {
+
+struct RunStats {
+  // Work accounting.
+  std::size_t runs = 0;
+  std::size_t chunks_processed = 0;
+  std::size_t elements_processed = 0;
+  std::size_t elements_skipped = 0;  ///< trailing elements not filling a chunk
+
+  // Reduction-object accounting (Figure 11's axis).
+  std::size_t peak_reduction_objects = 0;  ///< max live objects across all maps at any sample
+  std::size_t peak_reduction_bytes = 0;
+  std::size_t early_emissions = 0;  ///< objects emitted by trigger()
+
+  // Combination accounting.
+  std::size_t bytes_serialized = 0;      ///< global-combination wire traffic (this rank)
+  std::size_t global_combinations = 0;   ///< cross-rank combination rounds executed
+
+  // Phase times, CPU-measured on the owning rank thread / workers.
+  double reduction_seconds = 0.0;     ///< critical path (max worker busy) summed over iterations
+  double combination_seconds = 0.0;   ///< local combination
+  double global_seconds = 0.0;        ///< serialize + exchange + merge + bcast
+  double copy_seconds = 0.0;          ///< input copy (copy_input mode / space sharing feed)
+
+  void reset() { *this = RunStats{}; }
+};
+
+}  // namespace smart

@@ -1,0 +1,57 @@
+// Scheduler construction arguments (paper Table 1, function 1) and the
+// run options that select between the variants the evaluation compares.
+#pragma once
+
+#include <cstddef>
+
+namespace smart {
+
+/// The paper's SchedArgs(num_threads, chunk_size, extra_data, num_iters).
+struct SchedArgs {
+  SchedArgs(int num_threads_in, std::size_t chunk_size_in,
+            const void* extra_data_in = nullptr, int num_iters_in = 1)
+      : num_threads(num_threads_in),
+        chunk_size(chunk_size_in),
+        extra_data(extra_data_in),
+        num_iters(num_iters_in) {}
+
+  int num_threads;         ///< analytics threads per process (= simulation threads in time sharing)
+  std::size_t chunk_size;  ///< elements per unit chunk (feature-vector length)
+  const void* extra_data;  ///< app-specific seed input (e.g. initial centroids)
+  int num_iters;           ///< iterations per run() call (iterative analytics)
+};
+
+/// Knobs for the design-variant comparisons in the paper's evaluation.
+/// Defaults are the paper's recommended configuration.
+struct RunOptions {
+  /// Copy the input block into an internal buffer before processing.
+  /// Smart's time-sharing mode reads the simulation slab through a bare
+  /// pointer instead (zero copy); enabling this reproduces the comparison
+  /// implementation of Figure 9.
+  bool copy_input = false;
+
+  /// Honor RedObj::trigger() for early emission (Algorithm 2).  Disabling
+  /// reproduces the no-trigger comparison of Figure 11.
+  bool enable_trigger = true;
+
+  /// Keep the combination map across run() calls: each run's result is
+  /// merged into the accumulated map instead of replacing it.  Off by
+  /// default — a run() processes one time-step independently, matching
+  /// the paper's per-time-step launch (Listing 1).
+  bool accumulate_across_runs = false;
+
+  /// Pin pool workers to cores (paper Section 3.1).  Off by default in
+  /// the test environment.
+  bool pin_threads = false;
+
+  /// Hand out chunk batches from a shared counter instead of static
+  /// contiguous splits.  Helps when per-chunk cost is skewed (e.g. windows
+  /// near a shock front); results are identical either way — only the
+  /// split assignment changes.
+  bool dynamic_chunking = false;
+
+  /// Cells in the space-sharing circular buffer (paper Figure 4).
+  std::size_t buffer_cells = 4;
+};
+
+}  // namespace smart

@@ -1,0 +1,483 @@
+// Scheduler<In, Out>: the Smart runtime (paper Sections 3 and 4).
+//
+// One scheduler instance lives on each simulation process (simmpi rank) and
+// is launched from the SPMD region — the paper's *hybrid programming view*:
+// the caller sees its own data partition, everything below this API runs in
+// a sequential programming view.
+//
+// Execution of one run() call (Algorithm 1):
+//   1. combination map is (re)seeded by process_extra_data;
+//   2. per iteration: the seeded map is *distributed* — cloned into each
+//      worker's reduction map — then every worker walks its split of the
+//      block chunk by chunk: gen_key(s) -> accumulate in place on the keyed
+//      reduction object.  No key-value pair is emitted, so there is no
+//      shuffle and the mapping phase needs no extra memory;
+//   3. local combination merges worker maps (merge); global combination
+//      serializes the rank map and merges across ranks over simmpi,
+//      broadcasting the global map back (so iterative apps see global
+//      state); post_combine updates objects (e.g. centroid = sum/size);
+//   4. surviving reduction objects are convert()ed into the output array.
+//
+// Early emission (Algorithm 2): right after accumulate, RedObj::trigger()
+// may emit the object straight into the output and drop it from the map,
+// bounding live objects by the window size instead of the input size.
+//
+// Iterative-context contract: process_extra_data and post_combine must
+// leave every field that merge() accumulates at its merge identity
+// (k-means' update() resetting sum/size is the canonical example).  The
+// runtime distributes those seeded objects to all workers and merges the
+// worker maps back, so non-identity accumulator state at a hand-back point
+// would be multiply counted.
+//
+// Modes:
+//   * time sharing  — run(in, in_len, out, out_len): reads the simulation
+//     slab through the caller's pointer, zero copy (RunOptions::copy_input
+//     reproduces the paper's extra-copy comparison);
+//   * space sharing — feed(in, in_len) copies the step into a circular
+//     buffer cell (blocking when full) and run(out, out_len) pops and
+//     analyzes one step; sim and analytics run as concurrent tasks on
+//     disjoint worker groups (paper Listing 2 / Figure 4);
+//   * offline       — identical analytics code called on data loaded from
+//     disk; the paper's point that in-situ and offline code coincide.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/timing.h"
+#include "core/chunk.h"
+#include "core/red_obj.h"
+#include "core/run_stats.h"
+#include "core/sched_args.h"
+#include "simmpi/world.h"
+#include "threading/circular_buffer.h"
+#include "threading/thread_pool.h"
+
+namespace smart {
+
+namespace detail {
+/// Key currently being accumulated; lets position-aware apps (kernel
+/// density estimation) recover the window center inside accumulate().
+inline thread_local int t_current_key = 0;
+}  // namespace detail
+
+template <class In, class Out>
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedArgs& args, RunOptions opts = {})
+      : args_(args),
+        opts_(opts),
+        pool_(std::make_unique<ThreadPool>(args.num_threads, opts.pin_threads)),
+        reduction_maps_(static_cast<std::size_t>(args.num_threads)) {
+    if (args.chunk_size == 0) {
+      throw std::invalid_argument("Scheduler: chunk_size must be positive");
+    }
+    if (args.num_iters <= 0) {
+      throw std::invalid_argument("Scheduler: num_iters must be positive");
+    }
+  }
+
+  virtual ~Scheduler() { release_tracked_objects(); }
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enable/disable the global (cross-rank) combination; enabled by
+  /// default.  Turned off for analytics whose output is per-partition
+  /// (window-based preprocessing, MapReduce pipelines — paper Section 3.1).
+  void set_global_combination(bool flag) { global_combination_ = flag; }
+  bool global_combination() const { return global_combination_; }
+
+  const CombinationMap& get_combination_map() const { return combination_map_; }
+
+  /// Drops all accumulated state (including the accumulate_across_runs
+  /// carry), e.g. between independent experiments on one scheduler.
+  void reset_combination_map() {
+    combination_map_.clear();
+    carry_map_.clear();
+    sync_tracked_objects();
+  }
+
+  // --- time-sharing entry points (paper Table 1, functions 5 and 6) -------
+  void run(const In* in, std::size_t in_len, Out* out, std::size_t out_len) {
+    execute(in, in_len, out, out_len, /*multi_key=*/false);
+  }
+  void run2(const In* in, std::size_t in_len, Out* out, std::size_t out_len) {
+    execute(in, in_len, out, out_len, /*multi_key=*/true);
+  }
+
+  // --- space-sharing entry points (functions 7 - 9) -----------------------
+  /// Copies one time-step's output into a circular-buffer cell; blocks
+  /// while all cells are in use (paper Figure 4's producer side).
+  void feed(const In* in, std::size_t in_len) {
+    ThreadCpuTimer timer;
+    FeedCell cell;
+    cell.data.assign(in, in + in_len);
+    cell.charge = std::make_unique<ScopedMemCharge>(MemCategory::kInputCopy, in_len * sizeof(In));
+    feed_buffer().push(std::move(cell));
+    stats_.copy_seconds += timer.seconds();
+  }
+
+  /// Signals the end of the simulation stream; pending cells stay poppable.
+  void close_feed() { feed_buffer().close(); }
+
+  /// Pops and analyzes one fed time-step; false once the stream is closed
+  /// and drained.
+  bool run(Out* out, std::size_t out_len) { return run_fed(out, out_len, /*multi_key=*/false); }
+  bool run2(Out* out, std::size_t out_len) { return run_fed(out, out_len, /*multi_key=*/true); }
+
+  // --- custom combination topologies (in-transit / hybrid processing) -----
+  /// Serialized snapshot of the current combination map.  Together with
+  /// absorb() this lets callers build combination topologies other than
+  /// the built-in world-wide allreduce — e.g. shipping per-step partial
+  /// results to dedicated staging ranks (paper Section 6's in-transit and
+  /// hybrid modes; see core/intransit.h).
+  Buffer snapshot() const {
+    Buffer buf;
+    serialize_map(combination_map_, buf);
+    return buf;
+  }
+
+  /// Merges a serialized combination map (a peer's snapshot) into this
+  /// scheduler's map using the app's merge().
+  void absorb(const Buffer& serialized_map) {
+    merge_map_into(deserialize_map(serialized_map), combination_map_, merge_fn());
+    sync_tracked_objects();
+  }
+
+  /// Re-runs the app's post_combine on the current map (after a custom
+  /// combination round).
+  void run_post_combine() { post_combine(combination_map_); }
+
+  /// Converts the current combination map into the output array without
+  /// running (Algorithm 1 lines 20-23 standalone) — used after absorb()
+  /// or to re-extract an accumulated result.
+  void convert_combination_map(Out* out, std::size_t out_len) const {
+    if (out == nullptr || out_len == 0) return;
+    for (const auto& [key, obj] : combination_map_) {
+      if (key >= 0 && static_cast<std::size_t>(key) < out_len) {
+        convert(*obj, out + key);
+      }
+    }
+  }
+
+  const RunStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  int num_threads() const { return args_.num_threads; }
+  std::size_t chunk_size() const { return args_.chunk_size; }
+
+ protected:
+  // --- the user-implemented API (paper Table 1, lower half) ---------------
+  virtual int gen_key(const Chunk& chunk, const In* data, const CombinationMap& com_map) const {
+    (void)chunk;
+    (void)data;
+    (void)com_map;
+    throw std::logic_error("Scheduler: run() used but gen_key not overridden");
+  }
+
+  virtual void gen_keys(const Chunk& chunk, const In* data, std::vector<int>& keys,
+                        const CombinationMap& com_map) const {
+    keys.push_back(gen_key(chunk, data, com_map));
+  }
+
+  virtual void accumulate(const Chunk& chunk, const In* data,
+                          std::unique_ptr<RedObj>& red_obj) = 0;
+
+  virtual void merge(const RedObj& red_obj, std::unique_ptr<RedObj>& com_obj) = 0;
+
+  virtual void process_extra_data(const void* extra_data, CombinationMap& com_map) {
+    (void)extra_data;
+    (void)com_map;
+  }
+
+  virtual void post_combine(CombinationMap& com_map) { (void)com_map; }
+
+  virtual void convert(const RedObj& red_obj, Out* out) const {
+    (void)red_obj;
+    (void)out;
+  }
+
+  /// Length of the block currently being processed (window apps use this
+  /// to clip windows at the partition boundary).
+  std::size_t total_len() const { return total_len_; }
+
+  /// Key under accumulation (valid inside accumulate()).
+  static int current_key() { return detail::t_current_key; }
+
+  const void* extra_data() const { return args_.extra_data; }
+
+ private:
+  struct FeedCell {
+    std::vector<In> data;
+    std::unique_ptr<ScopedMemCharge> charge;
+  };
+
+  CircularBuffer<FeedCell>& feed_buffer() {
+    if (!feed_buffer_) {
+      feed_buffer_ = std::make_unique<CircularBuffer<FeedCell>>(opts_.buffer_cells);
+    }
+    return *feed_buffer_;
+  }
+
+  bool run_fed(Out* out, std::size_t out_len, bool multi_key) {
+    auto cell = feed_buffer().pop();
+    if (!cell) return false;
+    execute(cell->data.data(), cell->data.size(), out, out_len, multi_key);
+    return true;
+  }
+
+  MergeFn merge_fn() {
+    return [this](const RedObj& red, std::unique_ptr<RedObj>& com) { merge(red, com); };
+  }
+
+  /// Keeps the memory tracker's reduction-object account at the current
+  /// live total across all maps.
+  void sync_tracked_objects() {
+    std::size_t live = map_footprint_bytes(combination_map_) + map_footprint_bytes(carry_map_);
+    for (const auto& m : reduction_maps_) live += map_footprint_bytes(m);
+    auto& tracker = MemoryTracker::instance();
+    if (live > tracked_red_bytes_) {
+      tracker.charge(MemCategory::kReductionObjects, live - tracked_red_bytes_);
+    } else if (live < tracked_red_bytes_) {
+      tracker.release(MemCategory::kReductionObjects, tracked_red_bytes_ - live);
+    }
+    tracked_red_bytes_ = live;
+    if (live > stats_.peak_reduction_bytes) stats_.peak_reduction_bytes = live;
+  }
+
+  void release_tracked_objects() {
+    if (tracked_red_bytes_ != 0) {
+      MemoryTracker::instance().release(MemCategory::kReductionObjects, tracked_red_bytes_);
+      tracked_red_bytes_ = 0;
+    }
+  }
+
+  void execute(const In* in, std::size_t in_len, Out* out, std::size_t out_len, bool multi_key) {
+    const In* data = in;
+    std::vector<In> copy;
+    std::unique_ptr<ScopedMemCharge> copy_charge;
+    if (opts_.copy_input) {
+      // The Figure 9 comparison variant: materialize a private copy of the
+      // simulation output before analyzing it.
+      ThreadCpuTimer timer;
+      copy.assign(in, in + in_len);
+      copy_charge =
+          std::make_unique<ScopedMemCharge>(MemCategory::kInputCopy, in_len * sizeof(In));
+      data = copy.data();
+      stats_.copy_seconds += timer.seconds();
+    }
+
+    total_len_ = in_len;
+    const std::size_t num_chunks = in_len / args_.chunk_size;
+    stats_.elements_skipped += in_len - num_chunks * args_.chunk_size;
+
+    // A run() analyzes one time-step independently (Listing 1 constructs
+    // the scheduler per step); cross-step accumulation is explicit.
+    if (opts_.accumulate_across_runs) {
+      merge_map_into(std::move(combination_map_), carry_map_, merge_fn());
+    }
+    combination_map_.clear();
+    process_extra_data(args_.extra_data, combination_map_);
+
+    auto* comm = simmpi::current();
+
+    for (int iter = 0; iter < args_.num_iters; ++iter) {
+      distribute_combination_map();
+      reduction_phase(data, num_chunks, out, out_len, multi_key);
+      local_combination();
+      if (global_combination_ && comm != nullptr && comm->size() > 1) {
+        global_combination(*comm);
+      }
+      post_combine(combination_map_);
+      sync_tracked_objects();
+    }
+
+    if (opts_.accumulate_across_runs) {
+      merge_map_into(std::move(combination_map_), carry_map_, merge_fn());
+      combination_map_ = std::move(carry_map_);
+      carry_map_.clear();
+    }
+
+    // Output conversion (Algorithm 1 lines 20-23): objects not already
+    // emitted early are converted into the caller's output array.
+    if (out != nullptr && out_len > 0) {
+      for (const auto& [key, obj] : combination_map_) {
+        if (key >= 0 && static_cast<std::size_t>(key) < out_len) {
+          convert(*obj, out + key);
+        }
+      }
+    }
+    sync_tracked_objects();
+    ++stats_.runs;
+  }
+
+  /// Algorithm 1 lines 3-6: clone the (seeded or post-combined) combination
+  /// map into every worker's reduction map so accumulate/merge see the
+  /// iterative context.  The map itself stays in place as the read-only
+  /// com_map argument to gen_key(s); local combination rebuilds it from the
+  /// worker maps (every seeded entry survives via its clones).
+  void distribute_combination_map() {
+    for (auto& rmap : reduction_maps_) {
+      rmap.clear();
+      for (const auto& [key, obj] : combination_map_) {
+        auto cloned = obj->clone();
+        cloned->set_key(key);
+        rmap.emplace(key, std::move(cloned));
+      }
+    }
+  }
+
+  void reduction_phase(const In* data, std::size_t num_chunks, Out* out, std::size_t out_len,
+                       bool multi_key) {
+    const auto workers = static_cast<std::size_t>(args_.num_threads);
+    const std::size_t base = num_chunks / workers;
+    const std::size_t extra = num_chunks % workers;
+    // Dynamic mode: workers pull batches of this many chunks from a shared
+    // counter (8 batches per worker keeps the tail short without turning
+    // the counter into a hot spot).
+    const std::size_t grain = std::max<std::size_t>(1, num_chunks / (workers * 8));
+    std::atomic<std::size_t> next_chunk{0};
+
+    std::vector<std::size_t> peak_objs(workers, 0);
+    std::vector<std::size_t> emitted(workers, 0);
+    std::vector<std::size_t> chunks_done(workers, 0);
+
+    const std::vector<double> busy = pool_->parallel_region([&](int w) {
+      const auto uw = static_cast<std::size_t>(w);
+      auto& rmap = reduction_maps_[uw];
+      std::size_t peak = rmap.size();
+      std::vector<int> keys;
+      // Consecutive chunks usually hit the same key (single-object apps,
+      // grid runs), so cache the last slot; std::map nodes are stable, so
+      // the cached reference survives unrelated inserts.
+      int cached_key = 0;
+      std::unique_ptr<RedObj>* cached_slot = nullptr;
+      auto locate = [&](int key) -> std::unique_ptr<RedObj>& {
+        if (cached_slot != nullptr && cached_key == key) return *cached_slot;
+        cached_slot = &rmap[key];
+        cached_key = key;
+        return *cached_slot;
+      };
+      auto process_key = [&](const Chunk& chunk, int key) {
+        detail::t_current_key = key;
+        auto& slot = locate(key);
+        if (slot) slot->set_key(key);
+        accumulate(chunk, data, slot);
+        if (!slot) {
+          throw std::logic_error("Scheduler: accumulate left a null reduction object");
+        }
+        slot->set_key(key);
+        if (opts_.enable_trigger && slot->trigger()) {
+          // Algorithm 2 lines 5-7: convert and drop right away.
+          if (out != nullptr && key >= 0 && static_cast<std::size_t>(key) < out_len) {
+            convert(*slot, out + key);
+          }
+          rmap.erase(key);
+          cached_slot = nullptr;
+          ++emitted[uw];
+        }
+      };
+      auto process_range = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+          const Chunk chunk{c * args_.chunk_size, args_.chunk_size};
+          if (multi_key) {
+            keys.clear();
+            gen_keys(chunk, data, keys, combination_map_);
+            for (const int key : keys) process_key(chunk, key);
+          } else {
+            process_key(chunk, gen_key(chunk, data, combination_map_));
+          }
+          if (rmap.size() > peak) peak = rmap.size();
+        }
+        chunks_done[uw] += end - begin;
+      };
+      if (opts_.dynamic_chunking) {
+        for (;;) {
+          const std::size_t begin = next_chunk.fetch_add(grain, std::memory_order_relaxed);
+          if (begin >= num_chunks) break;
+          process_range(begin, std::min(begin + grain, num_chunks));
+        }
+      } else {
+        // Contiguous split of chunks for this worker (the paper's equal
+        // division of a block into splits).
+        const std::size_t begin = uw * base + std::min(uw, extra);
+        process_range(begin, begin + base + (uw < extra ? 1 : 0));
+      }
+      peak_objs[uw] = peak;
+    });
+
+    double critical_path = 0.0;
+    for (double b : busy) critical_path = std::max(critical_path, b);
+    stats_.reduction_seconds += critical_path;
+    // Threads within a rank run on that rank's dedicated cores; the rank's
+    // virtual clock advances by the slowest worker.
+    if (auto* comm = simmpi::current()) comm->advance(critical_path);
+
+    std::size_t peak_total = combination_map_.size();
+    for (std::size_t w = 0; w < workers; ++w) {
+      peak_total += peak_objs[w];
+      stats_.early_emissions += emitted[w];
+      stats_.chunks_processed += chunks_done[w];
+      stats_.elements_processed += chunks_done[w] * args_.chunk_size;
+    }
+    if (peak_total > stats_.peak_reduction_objects) {
+      stats_.peak_reduction_objects = peak_total;
+    }
+    sync_tracked_objects();
+  }
+
+  /// Algorithm 1 lines 11-17, local half: worker maps merge into a fresh
+  /// node-local combination map.
+  void local_combination() {
+    ThreadCpuTimer timer;
+    CombinationMap fresh;
+    for (auto& rmap : reduction_maps_) {
+      merge_map_into(std::move(rmap), fresh, merge_fn());
+      rmap.clear();
+    }
+    combination_map_ = std::move(fresh);
+    stats_.combination_seconds += timer.seconds();
+  }
+
+  /// Algorithm 1 lines 11-17, global half: rank maps are serialized,
+  /// merged pairwise over a reduction tree, and the global map replaces
+  /// every rank's local map (so the next iteration and get_combination_map
+  /// see the global result).
+  void global_combination(simmpi::Communicator& comm) {
+    WallTimer wall;
+    Buffer local;
+    serialize_map(combination_map_, local);
+    stats_.bytes_serialized += local.size();
+    ++stats_.global_combinations;
+    const MergeFn merge_cb = merge_fn();
+    Buffer global = comm.allreduce(std::move(local), [&](const Buffer& a, const Buffer& b) {
+      CombinationMap ma = deserialize_map(a);
+      CombinationMap mb = deserialize_map(b);
+      merge_map_into(std::move(mb), ma, merge_cb);
+      Buffer merged;
+      serialize_map(ma, merged);
+      return merged;
+    });
+    combination_map_ = deserialize_map(global);
+    stats_.global_seconds += wall.seconds();
+  }
+
+  SchedArgs args_;
+  RunOptions opts_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<CombinationMap> reduction_maps_;
+  CombinationMap combination_map_;
+  CombinationMap carry_map_;
+  bool global_combination_ = true;
+  std::size_t total_len_ = 0;
+  std::size_t tracked_red_bytes_ = 0;
+  std::unique_ptr<CircularBuffer<FeedCell>> feed_buffer_;
+  RunStats stats_;
+};
+
+}  // namespace smart

@@ -1,0 +1,122 @@
+#include "minispark/apps.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace smart::minispark {
+
+std::vector<std::size_t> spark_histogram(SparkContext& ctx, const std::vector<double>& data,
+                                         double min, double max, int num_buckets) {
+  const double width = (max - min) / num_buckets;
+  RDD<double> rdd = RDD<double>::parallelize(ctx, data);
+  // Every element becomes a materialized (bucket, 1) pair; the shuffle
+  // groups them; only then does the reduction collapse the counts.
+  PairRDD<int, std::size_t> pairs = rdd.map_to_pair<int, std::size_t>(
+      [=](const double& x) {
+        int b = static_cast<int>(std::floor((x - min) / width));
+        b = b < 0 ? 0 : (b >= num_buckets ? num_buckets - 1 : b);
+        return std::pair<int, std::size_t>{b, 1};
+      });
+  PairRDD<int, std::size_t> counts = pairs.reduce_by_key(
+      [](const std::size_t& a, const std::size_t& b) { return a + b; });
+  std::vector<std::size_t> out(static_cast<std::size_t>(num_buckets), 0);
+  for (const auto& [bucket, count] : counts.collect()) {
+    out[static_cast<std::size_t>(bucket)] = count;
+  }
+  return out;
+}
+
+std::vector<double> spark_kmeans(SparkContext& ctx, const std::vector<double>& points,
+                                 std::size_t dims, std::size_t k, int iterations,
+                                 const std::vector<double>& init_centroids) {
+  if (init_centroids.size() != k * dims) {
+    throw std::invalid_argument("spark_kmeans: bad init centroid size");
+  }
+  // Points as vector records (Spark's example parses each line into a
+  // dense vector RDD and caches it).
+  std::vector<std::vector<double>> rows(points.size() / dims);
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    rows[p].assign(points.begin() + static_cast<std::ptrdiff_t>(p * dims),
+                   points.begin() + static_cast<std::ptrdiff_t>((p + 1) * dims));
+  }
+  RDD<std::vector<double>> rdd = RDD<std::vector<double>>::parallelize(ctx, rows);
+
+  std::vector<double> centroids = init_centroids;
+  for (int it = 0; it < iterations; ++it) {
+    const std::vector<double> current = centroids;  // closure "broadcast"
+    // (sum vector, count) per cluster; the value vector carries the count
+    // in its last slot, as the Spark example does with tuples.
+    PairRDD<int, std::vector<double>> assigned =
+        rdd.map_to_pair<int, std::vector<double>>([&, current](const std::vector<double>& p) {
+          int best = 0;
+          double best_dist = std::numeric_limits<double>::max();
+          for (std::size_t c = 0; c * dims < current.size(); ++c) {
+            double dist = 0.0;
+            for (std::size_t d = 0; d < dims; ++d) {
+              const double diff = p[d] - current[c * dims + d];
+              dist += diff * diff;
+            }
+            if (dist < best_dist) {
+              best_dist = dist;
+              best = static_cast<int>(c);
+            }
+          }
+          std::vector<double> value(p);
+          value.push_back(1.0);
+          return std::pair<int, std::vector<double>>{best, std::move(value)};
+        });
+    PairRDD<int, std::vector<double>> sums = assigned.reduce_by_key(
+        [](const std::vector<double>& a, const std::vector<double>& b) {
+          std::vector<double> out(a.size());
+          for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+          return out;
+        });
+    for (const auto& [cluster, sum] : sums.collect()) {
+      const double count = sum[dims];
+      if (count <= 0.0) continue;
+      for (std::size_t d = 0; d < dims; ++d) {
+        centroids[static_cast<std::size_t>(cluster) * dims + d] = sum[d] / count;
+      }
+    }
+  }
+  return centroids;
+}
+
+std::vector<double> spark_logreg(SparkContext& ctx, const std::vector<double>& records,
+                                 std::size_t dim, int iterations, double learning_rate) {
+  const std::size_t stride = dim + 1;
+  std::vector<std::vector<double>> rows(records.size() / stride);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    rows[r].assign(records.begin() + static_cast<std::ptrdiff_t>(r * stride),
+                   records.begin() + static_cast<std::ptrdiff_t>((r + 1) * stride));
+  }
+  RDD<std::vector<double>> rdd = RDD<std::vector<double>>::parallelize(ctx, rows);
+
+  std::vector<double> w(dim, 0.0);
+  const auto n = static_cast<double>(rows.size());
+  for (int it = 0; it < iterations; ++it) {
+    const std::vector<double> current = w;
+    // map: per-record gradient contribution (a fresh dim-vector each, the
+    // materialization Smart's reduction objects avoid); reduce: vector add.
+    RDD<std::vector<double>> grads =
+        rdd.map<std::vector<double>>([&, current](const std::vector<double>& rec) {
+          double dot = 0.0;
+          for (std::size_t d = 0; d < dim; ++d) dot += current[d] * rec[d];
+          const double residual = 1.0 / (1.0 + std::exp(-dot)) - rec[dim];
+          std::vector<double> g(dim);
+          for (std::size_t d = 0; d < dim; ++d) g[d] = residual * rec[d];
+          return g;
+        });
+    const std::vector<double> total = grads.reduce(
+        [](const std::vector<double>& a, const std::vector<double>& b) {
+          std::vector<double> out(a.size());
+          for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+          return out;
+        });
+    for (std::size_t d = 0; d < dim; ++d) w[d] -= learning_rate * total[d] / n;
+  }
+  return w;
+}
+
+}  // namespace smart::minispark

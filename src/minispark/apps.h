@@ -1,0 +1,31 @@
+// The three comparison applications of the paper's Figure 5, written
+// against MiniSpark exactly the way the official Spark examples write them
+// (the paper: "both logistic regression and k-means were implemented based
+// on the example codes provided by Spark").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "minispark/rdd.h"
+
+namespace smart::minispark {
+
+/// Equi-width histogram: mapToPair(value -> (bucket, 1)).reduceByKey(+).
+std::vector<std::size_t> spark_histogram(SparkContext& ctx, const std::vector<double>& data,
+                                         double min, double max, int num_buckets);
+
+/// K-means via the Spark example pattern: per iteration,
+/// mapToPair(point -> (closest, (point, 1))).reduceByKey(vector add) and a
+/// driver-side centroid recompute.  Points are rows of `dims`.
+std::vector<double> spark_kmeans(SparkContext& ctx, const std::vector<double>& points,
+                                 std::size_t dims, std::size_t k, int iterations,
+                                 const std::vector<double>& init_centroids);
+
+/// Logistic regression via the Spark example pattern: per iteration,
+/// map(record -> gradient vector).reduce(vector add) and a driver-side
+/// weight update.  Records are rows of (dim + 1) with a trailing label.
+std::vector<double> spark_logreg(SparkContext& ctx, const std::vector<double>& records,
+                                 std::size_t dim, int iterations, double learning_rate);
+
+}  // namespace smart::minispark

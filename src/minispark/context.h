@@ -1,0 +1,70 @@
+// MiniSpark: a deliberately Spark-shaped local data-processing engine, the
+// stand-in for Spark 1.1.1 in the paper's Figure 5 comparison (DESIGN.md
+// Section 1 documents the substitution).
+//
+// It reproduces the four cost sources the paper identifies:
+//   1. map/flatMap emit *materialized* key-value records, and grouping
+//      happens before reduction (Smart reduces in place instead);
+//   2. every transformation builds a new immutable RDD (no in-place reuse);
+//   3. records are serialized and deserialized at every stage boundary,
+//      as Spark does even in local mode;
+//   4. the driver keeps service threads (scheduler heartbeat, UI) running
+//      beside the worker pool, so not all cores go to computation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "threading/thread_pool.h"
+
+namespace smart::minispark {
+
+class SparkContext {
+ public:
+  struct Config {
+    int worker_threads = 4;
+    int partitions = 0;          ///< 0: default to 2x workers
+    int service_threads = 2;     ///< driver-side non-worker threads
+    bool serialize_stages = true;///< round-trip records at stage boundaries
+    double service_duty = 0.05;  ///< fraction of a core each service thread burns
+  };
+
+  explicit SparkContext(Config config);
+  ~SparkContext();
+
+  SparkContext(const SparkContext&) = delete;
+  SparkContext& operator=(const SparkContext&) = delete;
+
+  int partitions() const { return partitions_; }
+  bool serialize_stages() const { return config_.serialize_stages; }
+
+  /// Runs fn(partition_index) for every partition on the worker pool.
+  void run_stage(const std::function<void(int)>& fn);
+
+  /// Cumulative bytes pushed through stage-boundary serialization.
+  std::size_t bytes_shuffled() const { return bytes_shuffled_.load(std::memory_order_relaxed); }
+  void add_shuffled(std::size_t bytes) {
+    bytes_shuffled_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Stages executed so far (one per transformation/action leg).
+  std::size_t stages_run() const { return stages_.load(std::memory_order_relaxed); }
+
+ private:
+  void service_loop(int id);
+
+  Config config_;
+  int partitions_;
+  ThreadPool pool_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::size_t> bytes_shuffled_{0};
+  std::atomic<std::size_t> stages_{0};
+  std::vector<std::thread> service_threads_;
+};
+
+}  // namespace smart::minispark

@@ -1,0 +1,276 @@
+// RDD<T> and PairRDD<K, V>: MiniSpark's immutable, fully materialized
+// distributed collections (local partitions stand in for cluster
+// partitions).  Every transformation produces a *new* RDD; when the
+// context's serialize_stages flag is on (the default, matching Spark's
+// local-mode behaviour) each new partition is round-tripped through bytes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "minispark/context.h"
+#include "minispark/serde.h"
+
+namespace smart::minispark {
+
+namespace detail {
+
+/// Partition storage charged to the memory tracker for its lifetime
+/// (materialized RDDs are what make Spark memory-hungry — paper
+/// Section 5.2's memory comparison).
+template <typename T>
+struct Storage {
+  Storage(std::vector<std::vector<T>> parts_in, std::size_t bytes)
+      : parts(std::move(parts_in)),
+        charge(std::make_unique<ScopedMemCharge>(MemCategory::kFramework, bytes)) {}
+  std::vector<std::vector<T>> parts;
+  std::unique_ptr<ScopedMemCharge> charge;
+};
+
+template <typename T>
+std::shared_ptr<Storage<T>> make_storage(SparkContext& ctx, std::vector<std::vector<T>> parts) {
+  std::size_t bytes = 0;
+  if (ctx.serialize_stages()) {
+    // Stage boundary: every partition's records go through bytes, as
+    // Spark serializes RDD data even within one process.  The serialized
+    // size is also the honest footprint of nested record types.
+    for (auto& p : parts) {
+      Buffer probe;
+      Writer w(probe);
+      w.write<std::uint64_t>(p.size());
+      for (const auto& rec : p) Serde<T>::write(w, rec);
+      ctx.add_shuffled(probe.size());
+      bytes += probe.size();
+      Reader r(probe);
+      const auto n = r.read<std::uint64_t>();
+      std::vector<T> back;
+      back.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) back.push_back(Serde<T>::read(r));
+      p = std::move(back);
+    }
+  } else {
+    for (const auto& p : parts) bytes += p.capacity() * sizeof(T);
+  }
+  return std::make_shared<Storage<T>>(std::move(parts), bytes);
+}
+
+}  // namespace detail
+
+template <typename K, typename V>
+class PairRDD;
+
+template <typename T>
+class RDD {
+ public:
+  RDD(SparkContext& ctx, std::shared_ptr<detail::Storage<T>> storage)
+      : ctx_(&ctx), storage_(std::move(storage)) {}
+
+  /// Distributes a local collection over the context's partitions.
+  static RDD parallelize(SparkContext& ctx, const std::vector<T>& data) {
+    const auto nparts = static_cast<std::size_t>(ctx.partitions());
+    std::vector<std::vector<T>> parts(nparts);
+    const std::size_t base = data.size() / nparts;
+    const std::size_t extra = data.size() % nparts;
+    std::size_t at = 0;
+    for (std::size_t p = 0; p < nparts; ++p) {
+      const std::size_t len = base + (p < extra ? 1 : 0);
+      parts[p].assign(data.begin() + static_cast<std::ptrdiff_t>(at),
+                      data.begin() + static_cast<std::ptrdiff_t>(at + len));
+      at += len;
+    }
+    return RDD(ctx, detail::make_storage(ctx, std::move(parts)));
+  }
+
+  template <typename U>
+  RDD<U> map(const std::function<U(const T&)>& fn) const {
+    std::vector<std::vector<U>> out(storage_->parts.size());
+    ctx_->run_stage([&](int p) {
+      const auto& in = storage_->parts[static_cast<std::size_t>(p)];
+      auto& dst = out[static_cast<std::size_t>(p)];
+      dst.reserve(in.size());
+      for (const auto& rec : in) dst.push_back(fn(rec));
+    });
+    return RDD<U>(*ctx_, detail::make_storage(*ctx_, std::move(out)));
+  }
+
+  template <typename K, typename V>
+  PairRDD<K, V> map_to_pair(const std::function<std::pair<K, V>(const T&)>& fn) const {
+    std::vector<std::vector<std::pair<K, V>>> out(storage_->parts.size());
+    ctx_->run_stage([&](int p) {
+      const auto& in = storage_->parts[static_cast<std::size_t>(p)];
+      auto& dst = out[static_cast<std::size_t>(p)];
+      dst.reserve(in.size());
+      for (const auto& rec : in) dst.push_back(fn(rec));
+    });
+    return PairRDD<K, V>(*ctx_, detail::make_storage(*ctx_, std::move(out)));
+  }
+
+  template <typename K, typename V>
+  PairRDD<K, V> flat_map_to_pair(
+      const std::function<void(const T&, std::vector<std::pair<K, V>>&)>& fn) const {
+    std::vector<std::vector<std::pair<K, V>>> out(storage_->parts.size());
+    ctx_->run_stage([&](int p) {
+      const auto& in = storage_->parts[static_cast<std::size_t>(p)];
+      auto& dst = out[static_cast<std::size_t>(p)];
+      for (const auto& rec : in) fn(rec, dst);
+    });
+    return PairRDD<K, V>(*ctx_, detail::make_storage(*ctx_, std::move(out)));
+  }
+
+  /// Keeps records satisfying the predicate (Spark's filter); like every
+  /// transformation, the result is a new materialized RDD.
+  RDD filter(const std::function<bool(const T&)>& pred) const {
+    std::vector<std::vector<T>> out(storage_->parts.size());
+    ctx_->run_stage([&](int p) {
+      const auto& in = storage_->parts[static_cast<std::size_t>(p)];
+      auto& dst = out[static_cast<std::size_t>(p)];
+      for (const auto& rec : in) {
+        if (pred(rec)) dst.push_back(rec);
+      }
+    });
+    return RDD(*ctx_, detail::make_storage(*ctx_, std::move(out)));
+  }
+
+  /// Concatenates two RDDs partition-wise (Spark's union).
+  RDD union_with(const RDD& other) const {
+    if (ctx_ != other.ctx_) {
+      throw std::invalid_argument("RDD::union_with: RDDs belong to different contexts");
+    }
+    const std::size_t nparts =
+        std::max(storage_->parts.size(), other.storage_->parts.size());
+    std::vector<std::vector<T>> out(nparts);
+    for (std::size_t p = 0; p < nparts; ++p) {
+      if (p < storage_->parts.size()) {
+        out[p].insert(out[p].end(), storage_->parts[p].begin(), storage_->parts[p].end());
+      }
+      if (p < other.storage_->parts.size()) {
+        out[p].insert(out[p].end(), other.storage_->parts[p].begin(),
+                      other.storage_->parts[p].end());
+      }
+    }
+    return RDD(*ctx_, detail::make_storage(*ctx_, std::move(out)));
+  }
+
+  /// Tree-free serial fold of per-partition reductions (Spark's reduce).
+  T reduce(const std::function<T(const T&, const T&)>& fn) const {
+    std::vector<std::vector<T>> partials(storage_->parts.size());
+    ctx_->run_stage([&](int p) {
+      const auto& in = storage_->parts[static_cast<std::size_t>(p)];
+      if (in.empty()) return;
+      T acc = in.front();
+      for (std::size_t i = 1; i < in.size(); ++i) acc = fn(acc, in[i]);
+      partials[static_cast<std::size_t>(p)].push_back(std::move(acc));
+    });
+    bool have = false;
+    T result{};
+    for (auto& part : partials) {
+      for (auto& v : part) {
+        result = have ? fn(result, v) : std::move(v);
+        have = true;
+      }
+    }
+    if (!have) throw std::runtime_error("RDD::reduce on empty RDD");
+    return result;
+  }
+
+  std::vector<T> collect() const {
+    std::vector<T> out;
+    for (const auto& p : storage_->parts) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto& p : storage_->parts) n += p.size();
+    return n;
+  }
+
+  SparkContext& context() const { return *ctx_; }
+
+ private:
+  SparkContext* ctx_;
+  std::shared_ptr<detail::Storage<T>> storage_;
+};
+
+template <typename K, typename V>
+class PairRDD {
+ public:
+  PairRDD(SparkContext& ctx, std::shared_ptr<detail::Storage<std::pair<K, V>>> storage)
+      : ctx_(&ctx), storage_(std::move(storage)) {}
+
+  /// Hash-partitioned shuffle + per-key reduction: records are grouped
+  /// (materialized buckets!) before the reduce function ever runs — the
+  /// execution-flow contrast with Smart's in-place reduction.
+  PairRDD reduce_by_key(const std::function<V(const V&, const V&)>& fn) const {
+    const auto nparts = storage_->parts.size();
+    // Shuffle write: bucket every record by hash(key) % nparts.
+    std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(
+        nparts, std::vector<std::vector<std::pair<K, V>>>(nparts));
+    ctx_->run_stage([&](int p) {
+      for (const auto& rec : storage_->parts[static_cast<std::size_t>(p)]) {
+        const std::size_t target = std::hash<K>{}(rec.first) % nparts;
+        buckets[static_cast<std::size_t>(p)][target].push_back(rec);
+      }
+    });
+    // Shuffle read + group + reduce per target partition.
+    std::vector<std::vector<std::pair<K, V>>> out(nparts);
+    ctx_->run_stage([&](int p) {
+      const auto up = static_cast<std::size_t>(p);
+      std::map<K, std::vector<V>> groups;  // grouping precedes reduction
+      for (std::size_t src = 0; src < nparts; ++src) {
+        std::vector<std::pair<K, V>> incoming = std::move(buckets[src][up]);
+        if (ctx_->serialize_stages()) {
+          Buffer probe;
+          Writer w(probe);
+          w.write<std::uint64_t>(incoming.size());
+          for (const auto& rec : incoming) Serde<std::pair<K, V>>::write(w, rec);
+          ctx_->add_shuffled(probe.size());
+          Reader r(probe);
+          const auto n = r.read<std::uint64_t>();
+          incoming.clear();
+          incoming.reserve(n);
+          for (std::uint64_t i = 0; i < n; ++i) {
+            incoming.push_back(Serde<std::pair<K, V>>::read(r));
+          }
+        }
+        for (auto& rec : incoming) groups[rec.first].push_back(std::move(rec.second));
+      }
+      for (auto& [key, values] : groups) {
+        V acc = values.front();
+        for (std::size_t i = 1; i < values.size(); ++i) acc = fn(acc, values[i]);
+        out[up].emplace_back(key, std::move(acc));
+      }
+    });
+    return PairRDD(*ctx_, detail::make_storage(*ctx_, std::move(out)));
+  }
+
+  /// Record count per key (Spark's countByKey, driver-side result).
+  std::map<K, std::size_t> count_by_key() const {
+    std::map<K, std::size_t> out;
+    for (const auto& p : storage_->parts) {
+      for (const auto& [key, value] : p) out[key] += 1;
+    }
+    return out;
+  }
+
+  std::vector<std::pair<K, V>> collect() const {
+    std::vector<std::pair<K, V>> out;
+    for (const auto& p : storage_->parts) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto& p : storage_->parts) n += p.size();
+    return n;
+  }
+
+ private:
+  SparkContext* ctx_;
+  std::shared_ptr<detail::Storage<std::pair<K, V>>> storage_;
+};
+
+}  // namespace smart::minispark

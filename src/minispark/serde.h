@@ -1,0 +1,64 @@
+// Record serialization for MiniSpark stage boundaries.
+//
+// Spark serializes RDD records even in local mode (paper Section 5.2's
+// third explanation for the performance gap), so MiniSpark round-trips
+// every record through bytes at every stage boundary.  Serde<T> provides
+// that encoding for the record types the comparison apps use.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace smart::minispark {
+
+template <typename T, typename = void>
+struct Serde;
+
+/// Trivially copyable records (int, double, small structs).
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
+  static void write(Writer& w, const T& value) { w.write(value); }
+  static T read(Reader& r) { return r.template read<T>(); }
+};
+
+/// Vectors of trivially copyable elements.
+template <typename E>
+struct Serde<std::vector<E>, std::enable_if_t<std::is_trivially_copyable_v<E>>> {
+  static void write(Writer& w, const std::vector<E>& value) { w.write_vector(value); }
+  static std::vector<E> read(Reader& r) { return r.template read_vector<E>(); }
+};
+
+/// Pairs of serializable parts (the key-value records of PairRDDs).
+template <typename A, typename B>
+struct Serde<std::pair<A, B>, void> {
+  static void write(Writer& w, const std::pair<A, B>& value) {
+    Serde<A>::write(w, value.first);
+    Serde<B>::write(w, value.second);
+  }
+  static std::pair<A, B> read(Reader& r) {
+    A a = Serde<A>::read(r);
+    B b = Serde<B>::read(r);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+/// Serialize + deserialize a whole partition: the cost MiniSpark charges
+/// at every stage boundary.
+template <typename T>
+std::vector<T> roundtrip_partition(const std::vector<T>& partition) {
+  Buffer buf;
+  Writer w(buf);
+  w.write<std::uint64_t>(partition.size());
+  for (const auto& rec : partition) Serde<T>::write(w, rec);
+  Reader r(buf);
+  const auto n = r.read<std::uint64_t>();
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(Serde<T>::read(r));
+  return out;
+}
+
+}  // namespace smart::minispark

@@ -1,0 +1,29 @@
+#include "sim/emulator.h"
+
+#include <cmath>
+
+namespace smart::sim {
+
+LabeledEmulator::LabeledEmulator(const Params& params)
+    : p_(params), rng_(params.seed), buffer_(params.records_per_step * (params.dim + 1)) {
+  Rng truth_rng(derive_seed(params.seed, 999));
+  truth_.resize(p_.dim);
+  for (auto& w : truth_) w = truth_rng.gaussian(0.0, 1.0);
+}
+
+const double* LabeledEmulator::step() {
+  const std::size_t stride = p_.dim + 1;
+  for (std::size_t r = 0; r < p_.records_per_step; ++r) {
+    double dot = 0.0;
+    for (std::size_t d = 0; d < p_.dim; ++d) {
+      const double x = rng_.gaussian(0.0, 1.0);
+      buffer_[r * stride + d] = x;
+      dot += truth_[d] * x;
+    }
+    const double prob = 1.0 / (1.0 + std::exp(-dot));
+    buffer_[r * stride + p_.dim] = rng_.uniform() < prob ? 1.0 : 0.0;
+  }
+  return buffer_.data();
+}
+
+}  // namespace smart::sim

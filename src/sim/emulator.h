@@ -1,0 +1,73 @@
+// The simulation emulator used for the Spark comparison (paper Section 5.2):
+// a sequential program that outputs double-precision array elements drawn
+// from a normal distribution, consuming almost no memory itself, so the
+// analytics engines are compared without the other three mismatches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace smart::sim {
+
+class Emulator {
+ public:
+  struct Params {
+    std::size_t step_len = 1 << 16;  ///< doubles emitted per time-step
+    double mean = 0.0;
+    double stddev = 1.0;
+    std::uint64_t seed = 42;
+  };
+
+  explicit Emulator(const Params& params)
+      : p_(params), rng_(params.seed), buffer_(params.step_len) {}
+
+  /// Generates the next time-step's output; the returned pointer stays
+  /// valid until the next call (the in-memory slab analytics reads).
+  const double* step() {
+    for (auto& x : buffer_) x = rng_.gaussian(p_.mean, p_.stddev);
+    ++steps_;
+    return buffer_.data();
+  }
+
+  std::size_t step_len() const { return p_.step_len; }
+  std::size_t step_count() const { return steps_; }
+  const std::vector<double>& buffer() const { return buffer_; }
+
+ private:
+  Params p_;
+  Rng rng_;
+  std::vector<double> buffer_;
+  std::size_t steps_ = 0;
+};
+
+/// Labeled-sample emulator for the supervised analytics (logistic
+/// regression): each record is [x_1..x_dim, label], with the label drawn
+/// from a ground-truth weight vector so accuracy is testable.
+class LabeledEmulator {
+ public:
+  struct Params {
+    std::size_t records_per_step = 1 << 12;
+    std::size_t dim = 15;  ///< the paper's logistic-regression dimensionality
+    std::uint64_t seed = 7;
+  };
+
+  explicit LabeledEmulator(const Params& params);
+
+  /// Next step's records, laid out as records_per_step rows of (dim + 1).
+  const double* step();
+
+  std::size_t step_len() const { return p_.records_per_step * (p_.dim + 1); }
+  std::size_t record_len() const { return p_.dim + 1; }
+  const std::vector<double>& truth() const { return truth_; }
+
+ private:
+  Params p_;
+  Rng rng_;
+  std::vector<double> truth_;
+  std::vector<double> buffer_;
+};
+
+}  // namespace smart::sim

@@ -1,0 +1,287 @@
+#include "simmpi/communicator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simmpi/world.h"
+
+namespace smart::simmpi {
+
+namespace {
+// Internal tag space for collectives; user tags must be >= 0.
+constexpr int kBarrierBase = -1000;
+constexpr int kBcastTag = -2000;
+constexpr int kGatherTag = -3000;
+constexpr int kReduceTag = -4000;
+constexpr int kScatterTag = -5000;
+constexpr int kAlltoallTag = -6000;
+constexpr int kSplitTag = -7000;
+}  // namespace
+
+Communicator::Communicator(World& world, int world_rank)
+    : world_(world),
+      world_rank_(world_rank),
+      rank_(world_rank),
+      state_(std::make_shared<detail::RankState>()) {
+  state_->last_cpu = thread_cpu_seconds();
+}
+
+Communicator::Communicator(World& world, int world_rank, std::vector<int> group,
+                           std::shared_ptr<detail::RankState> state)
+    : world_(world), world_rank_(world_rank), group_(std::move(group)), state_(std::move(state)) {
+  const auto it = std::find(group_.begin(), group_.end(), world_rank_);
+  if (it == group_.end()) {
+    throw std::logic_error("simmpi: split communicator does not contain this rank");
+  }
+  rank_ = static_cast<int>(it - group_.begin());
+}
+
+int Communicator::size() const {
+  return group_.empty() ? world_.size() : static_cast<int>(group_.size());
+}
+
+int Communicator::to_world(int rank_in_comm) const {
+  if (group_.empty()) return rank_in_comm;
+  return group_.at(static_cast<std::size_t>(rank_in_comm));
+}
+
+int Communicator::from_world(int world_rank) const {
+  if (group_.empty()) return world_rank;
+  const auto it = std::find(group_.begin(), group_.end(), world_rank);
+  if (it == group_.end()) return kAnySource;  // message from outside the group
+  return static_cast<int>(it - group_.begin());
+}
+
+void Communicator::charge_own_cpu() {
+  const double now = thread_cpu_seconds();
+  state_->vclock += now - state_->last_cpu;
+  state_->last_cpu = now;
+}
+
+void Communicator::advance(double seconds) {
+  charge_own_cpu();
+  state_->vclock += seconds;
+}
+
+double Communicator::vclock() {
+  charge_own_cpu();
+  return state_->vclock;
+}
+
+void Communicator::send(int dest, int tag, Buffer payload) {
+  if (dest < 0 || dest >= size()) {
+    throw std::out_of_range("simmpi::send: destination rank out of range");
+  }
+  charge_own_cpu();
+  state_->bytes_sent += payload.size();
+  Envelope e;
+  e.source = world_rank_;
+  e.tag = tag;
+  e.vtime = state_->vclock;
+  e.payload = std::move(payload);
+  world_.mailbox(to_world(dest)).post(std::move(e));
+}
+
+Buffer Communicator::recv(int source, int tag, int* actual_source, int* actual_tag) {
+  charge_own_cpu();
+  const int world_source = source == kAnySource ? kAnySource : to_world(source);
+  Envelope e = world_.mailbox(world_rank_).receive(world_source, tag);
+  // Message arrival under the alpha-beta model: we cannot observe the data
+  // earlier than the sender's clock plus the wire time.
+  const double arrival = e.vtime + world_.network().transfer_seconds(e.payload.size());
+  if (arrival > state_->vclock) state_->vclock = arrival;
+  if (actual_source != nullptr) *actual_source = from_world(e.source);
+  if (actual_tag != nullptr) *actual_tag = e.tag;
+  // Blocking in receive() costs no CPU, so reset the CPU baseline here.
+  state_->last_cpu = thread_cpu_seconds();
+  return std::move(e.payload);
+}
+
+std::optional<Buffer> Communicator::try_recv(int source, int tag, int* actual_source,
+                                             int* actual_tag) {
+  charge_own_cpu();
+  const int world_source = source == kAnySource ? kAnySource : to_world(source);
+  auto e = world_.mailbox(world_rank_).try_receive(world_source, tag);
+  if (!e) return std::nullopt;
+  const double arrival = e->vtime + world_.network().transfer_seconds(e->payload.size());
+  if (arrival > state_->vclock) state_->vclock = arrival;
+  if (actual_source != nullptr) *actual_source = from_world(e->source);
+  if (actual_tag != nullptr) *actual_tag = e->tag;
+  return std::move(e->payload);
+}
+
+bool Communicator::probe(int source, int tag) const {
+  const int world_source = source == kAnySource ? kAnySource : to_world(source);
+  return world_.mailbox(world_rank_).has_match(world_source, tag);
+}
+
+void Communicator::barrier() {
+  // Dissemination barrier: ceil(log2(n)) rounds of shifted exchanges.
+  const int n = size();
+  for (int round = 0, dist = 1; dist < n; ++round, dist <<= 1) {
+    const int to = (rank_ + dist) % n;
+    const int from = (rank_ - dist % n + n) % n;
+    send(to, kBarrierBase - round, Buffer{});
+    (void)recv(from, kBarrierBase - round);
+  }
+}
+
+void Communicator::bcast(Buffer& buf, int root) {
+  // Binomial tree rooted at `root`, over rotated ranks.
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  // Receive from parent (unless root).
+  if (rel != 0) {
+    int mask = 1;
+    while ((rel & mask) == 0) mask <<= 1;
+    const int parent_rel = rel & ~mask;
+    buf = recv((parent_rel + root) % n, kBcastTag);
+    // Children live at rel + m for m below the bit we received on.
+    for (int m = mask >> 1; m >= 1; m >>= 1) {
+      if (rel + m < n) send((rel + m + root) % n, kBcastTag, buf);
+    }
+  } else {
+    int top = 1;
+    while (top < n) top <<= 1;
+    for (int m = top >> 1; m >= 1; m >>= 1) {
+      if (m < n) send((m + root) % n, kBcastTag, buf);
+    }
+  }
+}
+
+std::vector<Buffer> Communicator::gather(const Buffer& local, int root) {
+  const int n = size();
+  if (rank_ != root) {
+    send(root, kGatherTag, local);
+    return {};
+  }
+  std::vector<Buffer> all(static_cast<std::size_t>(n));
+  all[static_cast<std::size_t>(rank_)] = local;
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    all[static_cast<std::size_t>(r)] = recv(r, kGatherTag);
+  }
+  return all;
+}
+
+Buffer Communicator::scatter(const std::vector<Buffer>& chunks, int root) {
+  if (rank_ == root) {
+    if (chunks.size() != static_cast<std::size_t>(size())) {
+      throw std::invalid_argument("simmpi::scatter: need one chunk per rank");
+    }
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      send(r, kScatterTag, chunks[static_cast<std::size_t>(r)]);
+    }
+    return chunks[static_cast<std::size_t>(root)];
+  }
+  return recv(root, kScatterTag);
+}
+
+std::vector<Buffer> Communicator::alltoall(const std::vector<Buffer>& sends) {
+  const int n = size();
+  if (sends.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("simmpi::alltoall: need one buffer per rank");
+  }
+  std::vector<Buffer> recvs(static_cast<std::size_t>(n));
+  recvs[static_cast<std::size_t>(rank_)] = sends[static_cast<std::size_t>(rank_)];
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    send(r, kAlltoallTag, sends[static_cast<std::size_t>(r)]);
+  }
+  for (int i = 0; i < n - 1; ++i) {
+    int src = kAnySource;
+    Buffer got = recv(kAnySource, kAlltoallTag, &src);
+    recvs[static_cast<std::size_t>(src)] = std::move(got);
+  }
+  return recvs;
+}
+
+Buffer Communicator::reduce(Buffer local,
+                            int root,
+                            const std::function<Buffer(const Buffer&, const Buffer&)>& combine) {
+  // Binomial tree over rotated ranks; at each round the lower partner
+  // absorbs the upper partner's partial result.
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  for (int dist = 1; dist < n; dist <<= 1) {
+    if (rel % (2 * dist) == 0) {
+      if (rel + dist < n) {
+        Buffer other = recv(((rel + dist) + root) % n, kReduceTag);
+        Buffer merged = combine(local, other);
+        local = std::move(merged);
+      }
+    } else {
+      send(((rel - dist) + root) % n, kReduceTag, std::move(local));
+      return {};
+    }
+  }
+  return local;
+}
+
+Buffer Communicator::allreduce(Buffer local,
+                               const std::function<Buffer(const Buffer&, const Buffer&)>& combine) {
+  Buffer reduced = reduce(std::move(local), 0, combine);
+  bcast(reduced, 0);
+  return reduced;
+}
+
+Communicator Communicator::split(int color, int key) {
+  // Gather (color, key, world rank) triples to rank 0 of this communicator,
+  // broadcast the full table, and carve out the same-color group sorted by
+  // (key, world rank) — MPI_Comm_split semantics.
+  Buffer mine;
+  {
+    Writer w(mine);
+    w.write(color);
+    w.write(key);
+    w.write(world_rank_);
+  }
+  const std::vector<Buffer> table = gather(mine, 0);
+  Buffer packed;
+  if (rank_ == 0) {
+    Writer w(packed);
+    w.write<std::uint64_t>(table.size());
+    for (const auto& entry : table) {
+      Reader r(entry);
+      w.write(r.read<int>());
+      w.write(r.read<int>());
+      w.write(r.read<int>());
+    }
+  }
+  bcast(packed, 0);
+
+  struct Entry {
+    int color, key, world_rank;
+  };
+  std::vector<Entry> entries;
+  {
+    Reader r(packed);
+    const auto n = r.read<std::uint64_t>();
+    entries.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Entry e{};
+      e.color = r.read<int>();
+      e.key = r.read<int>();
+      e.world_rank = r.read<int>();
+      entries.push_back(e);
+    }
+  }
+  std::vector<Entry> group;
+  for (const auto& e : entries) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.world_rank < b.world_rank;
+  });
+  std::vector<int> world_ranks;
+  world_ranks.reserve(group.size());
+  for (const auto& e : group) world_ranks.push_back(e.world_rank);
+  // A barrier keeps successive collectives on parent and child communicators
+  // from interleaving their internal tags across groups.
+  barrier();
+  (void)kSplitTag;
+  return Communicator(world_, world_rank_, std::move(world_ranks), state_);
+}
+
+}  // namespace smart::simmpi

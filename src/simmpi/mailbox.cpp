@@ -1,0 +1,50 @@
+#include "simmpi/mailbox.h"
+
+namespace smart::simmpi {
+
+void Mailbox::post(Envelope e) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(e));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Envelope> Mailbox::take_locked(int source, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      Envelope e = std::move(*it);
+      queue_.erase(it);
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+Envelope Mailbox::receive(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (auto e = take_locked(source, tag)) return std::move(*e);
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Envelope> Mailbox::try_receive(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return take_locked(source, tag);
+}
+
+bool Mailbox::has_match(int source, int tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : queue_) {
+    if (matches(e, source, tag)) return true;
+  }
+  return false;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace smart::simmpi

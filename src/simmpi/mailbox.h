@@ -1,0 +1,58 @@
+// Per-rank mailbox: the only channel through which simmpi ranks exchange
+// data.  Payloads are serialized byte buffers, so anything crossing a rank
+// boundary pays the same serialization cost it would pay under real MPI.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/serialize.h"
+
+namespace smart::simmpi {
+
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -0x7fffffff;
+
+/// A message in flight: sender rank, user tag, payload, and the sender's
+/// virtual-clock timestamp (see communicator.h for the time model).
+struct Envelope {
+  int source = 0;
+  int tag = 0;
+  double vtime = 0.0;
+  Buffer payload;
+};
+
+/// MPMC queue with MPI-style (source, tag) matching.  Matching is FIFO
+/// among messages that satisfy the selector, which preserves MPI's
+/// non-overtaking guarantee per (source, tag) pair.
+class Mailbox {
+ public:
+  void post(Envelope e);
+
+  /// Blocks until a matching message arrives.
+  Envelope receive(int source, int tag);
+
+  /// Non-blocking probe-and-take.
+  std::optional<Envelope> try_receive(int source, int tag);
+
+  /// True if a matching message is queued (does not consume it).
+  bool has_match(int source, int tag) const;
+
+  std::size_t pending() const;
+
+ private:
+  static bool matches(const Envelope& e, int source, int tag) {
+    return (source == kAnySource || e.source == source) &&
+           (tag == kAnyTag || e.tag == tag);
+  }
+
+  std::optional<Envelope> take_locked(int source, int tag);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace smart::simmpi

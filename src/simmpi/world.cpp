@@ -1,0 +1,70 @@
+#include "simmpi/world.h"
+
+#include <algorithm>
+#include <exception>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+namespace smart::simmpi {
+
+namespace {
+thread_local Communicator* g_current = nullptr;
+}  // namespace
+
+World::World(int nranks, NetworkModel net) : net_(net) {
+  if (nranks <= 0) throw std::invalid_argument("simmpi::World: nranks must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+double LaunchStats::makespan() const {
+  double m = 0.0;
+  for (double t : rank_vtime) m = std::max(m, t);
+  return m;
+}
+
+std::size_t LaunchStats::total_bytes_sent() const {
+  return std::accumulate(rank_bytes_sent.begin(), rank_bytes_sent.end(), std::size_t{0});
+}
+
+Communicator* current() { return g_current; }
+
+namespace detail {
+CurrentGuard::CurrentGuard(Communicator* comm) : previous_(g_current) { g_current = comm; }
+CurrentGuard::~CurrentGuard() { g_current = previous_; }
+}  // namespace detail
+
+LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn, NetworkModel net) {
+  World world(nranks, net);
+  LaunchStats stats;
+  stats.rank_vtime.assign(static_cast<std::size_t>(nranks), 0.0);
+  stats.rank_bytes_sent.assign(static_cast<std::size_t>(nranks), 0);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+
+  WallTimer wall;
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(world, r);
+      detail::CurrentGuard guard(&comm);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      stats.rank_vtime[static_cast<std::size_t>(r)] = comm.vclock();
+      stats.rank_bytes_sent[static_cast<std::size_t>(r)] = comm.bytes_sent();
+    });
+  }
+  for (auto& t : threads) t.join();
+  stats.wall_seconds = wall.seconds();
+
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return stats;
+}
+
+}  // namespace smart::simmpi

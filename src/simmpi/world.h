@@ -1,0 +1,61 @@
+// World: the set of ranks in one SPMD launch, their mailboxes, and the
+// launch() entry point that spawns a thread per rank.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simmpi/communicator.h"
+#include "simmpi/mailbox.h"
+
+namespace smart::simmpi {
+
+class World {
+ public:
+  explicit World(int nranks, NetworkModel net = {});
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
+  const NetworkModel& network() const { return net_; }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  NetworkModel net_;
+};
+
+/// Outcome of one SPMD launch: per-rank final virtual clocks and traffic.
+struct LaunchStats {
+  std::vector<double> rank_vtime;
+  std::vector<std::size_t> rank_bytes_sent;
+  double wall_seconds = 0.0;
+
+  /// Virtual makespan: what an ideal one-core-per-rank machine would show.
+  double makespan() const;
+  std::size_t total_bytes_sent() const;
+};
+
+/// Runs fn on nranks concurrent ranks (one thread each) and joins them.
+/// Any rank exception is captured and rethrown on the caller after all
+/// ranks finish or the world would deadlock otherwise.
+LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
+                   NetworkModel net = {});
+
+/// The communicator of the calling rank thread, or nullptr outside launch().
+/// This is how the Smart scheduler discovers the SPMD context it was
+/// launched from (the paper's "launched from parallel code region").
+Communicator* current();
+
+namespace detail {
+/// RAII setter for the thread-local current() pointer (used by launch()).
+class CurrentGuard {
+ public:
+  explicit CurrentGuard(Communicator* comm);
+  ~CurrentGuard();
+
+ private:
+  Communicator* previous_;
+};
+}  // namespace detail
+
+}  // namespace smart::simmpi

@@ -1,0 +1,94 @@
+// Blocking bounded circular buffer: the producer/consumer channel of
+// Smart's space-sharing mode (paper Figure 4).  The simulation task feeds
+// each time-step's output into a cell (blocking when all cells are full,
+// exactly as the paper specifies); the analytics task pops cells.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace smart {
+
+template <typename T>
+class CircularBuffer {
+ public:
+  explicit CircularBuffer(std::size_t capacity) : cells_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("CircularBuffer: capacity must be positive");
+    }
+  }
+
+  /// Blocks while the buffer is full.  Throws if the buffer was closed.
+  void push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return count_ < cells_.size() || closed_; });
+    if (closed_) throw std::runtime_error("CircularBuffer: push after close");
+    cells_[(head_ + count_) % cells_.size()] = std::move(value);
+    ++count_;
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Blocks while the buffer is empty; returns nullopt once the buffer is
+  /// closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return std::nullopt;
+    T value = std::move(cells_[head_]);
+    head_ = (head_ + 1) % cells_.size();
+    --count_;
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking push; false when full (or closed).
+  bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || count_ == cells_.size()) return false;
+      cells_[(head_ + count_) % cells_.size()] = std::move(value);
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Ends the stream: pushers fail, poppers drain then get nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  std::size_t capacity() const { return cells_.size(); }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> cells_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace smart

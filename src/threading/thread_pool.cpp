@@ -1,0 +1,89 @@
+#include "threading/thread_pool.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+#include "common/timing.h"
+
+namespace smart {
+
+ThreadPool::ThreadPool(int num_workers, bool pin_threads) {
+  if (num_workers <= 0) {
+    throw std::invalid_argument("ThreadPool: num_workers must be positive");
+  }
+  busy_seconds_.assign(static_cast<std::size_t>(num_workers), 0.0);
+  errors_.assign(static_cast<std::size_t>(num_workers), nullptr);
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i, pin_threads] { worker_loop(i, pin_threads); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(int id, bool pin) {
+  if (pin) {
+    const long ncores = sysconf(_SC_NPROCESSORS_ONLN);
+    if (ncores > 0) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<unsigned>(id % ncores), &set);
+      pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    }
+  }
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    ThreadCpuTimer timer;
+    std::exception_ptr error = nullptr;
+    try {
+      (*job)(id);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double busy = timer.seconds();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_seconds_[static_cast<std::size_t>(id)] = busy;
+      errors_[static_cast<std::size_t>(id)] = error;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<double> ThreadPool::parallel_region(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  remaining_ = size();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  for (auto& err : errors_) {
+    if (err) {
+      std::exception_ptr e = err;
+      err = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+  return busy_seconds_;
+}
+
+}  // namespace smart

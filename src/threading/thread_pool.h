@@ -1,0 +1,54 @@
+// Persistent worker pool: the OpenMP-worksharing stand-in the Smart
+// scheduler drives.  One pool per scheduler; each worker owns one reduction
+// map, mirroring the paper's one-split-per-thread execution.
+//
+// parallel_region(fn) runs fn(worker_id) on every worker simultaneously and
+// returns each worker's measured CPU busy time for the region — the max of
+// those is the region's critical path, which the scheduler feeds into the
+// rank's virtual clock (see simmpi/communicator.h).
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smart {
+
+class ThreadPool {
+ public:
+  /// pin_threads attempts pthread affinity worker->core (the paper pins
+  /// analytics threads to cores); silently skipped if unsupported.
+  explicit ThreadPool(int num_workers, bool pin_threads = false);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Executes fn(worker_id) on all workers, waits for completion, and
+  /// returns per-worker CPU busy seconds.  Rethrows the first worker
+  /// exception after the region completes.
+  std::vector<double> parallel_region(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int id, bool pin);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<double> busy_seconds_;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace smart

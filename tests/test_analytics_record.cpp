@@ -1,0 +1,186 @@
+// Correctness of the five record-oriented analytics (grid aggregation,
+// histogram, mutual information, logistic regression, k-means) against the
+// independent serial references, swept over thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/grid_aggregation.h"
+#include "analytics/histogram.h"
+#include "analytics/kmeans.h"
+#include "analytics/logistic_regression.h"
+#include "analytics/mutual_information.h"
+#include "analytics/reference.h"
+#include "common/rng.h"
+#include "sim/emulator.h"
+
+namespace smart {
+namespace {
+
+using namespace analytics;
+
+class RecordAnalytics : public ::testing::TestWithParam<int> {
+ protected:
+  int threads() const { return GetParam(); }
+};
+
+TEST_P(RecordAnalytics, GridAggregationMatchesReference) {
+  Rng rng(21);
+  const auto data = rng.gaussian_vector(10240, 5.0, 2.0);
+  const std::size_t grid = 64;
+  GridAggregation<double> agg(SchedArgs(threads(), 1), grid);
+  std::vector<double> out(data.size() / grid, 0.0);
+  agg.run(data.data(), data.size(), out.data(), out.size());
+
+  const auto expected = ref::grid_aggregation(data.data(), data.size(), grid);
+  ASSERT_EQ(out.size(), expected.size());
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], expected[i], 1e-9) << i;
+}
+
+TEST_P(RecordAnalytics, GridAggregationHandlesPartialLastGrid) {
+  Rng rng(22);
+  const auto data = rng.gaussian_vector(1000);  // 1000 = 15*64 + 40: partial tail
+  const std::size_t grid = 64;
+  GridAggregation<double> agg(SchedArgs(threads(), 1), grid);
+  std::vector<double> out(16, 0.0);
+  agg.run(data.data(), data.size(), out.data(), out.size());
+  const auto expected = ref::grid_aggregation(data.data(), data.size(), grid);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_NEAR(out[i], expected[i], 1e-9);
+}
+
+TEST_P(RecordAnalytics, HistogramMatchesReferenceOnGaussianStream) {
+  sim::Emulator emu({.step_len = 20000, .mean = 0.0, .stddev = 1.0, .seed = 5});
+  const double* data = emu.step();
+  Histogram<double> hist(SchedArgs(threads(), 1), -4.0, 4.0, 100);
+  std::vector<std::size_t> out(100, 0);
+  hist.run(data, emu.step_len(), out.data(), out.size());
+  EXPECT_EQ(out, ref::histogram(data, emu.step_len(), -4.0, 4.0, 100));
+}
+
+TEST_P(RecordAnalytics, HistogramClampsOutOfRange) {
+  const std::vector<double> data = {-1000.0, 1000.0, 0.5};
+  Histogram<double> hist(SchedArgs(threads(), 1), 0.0, 1.0, 4);
+  std::vector<std::size_t> out(4, 0);
+  hist.run(data.data(), data.size(), out.data(), out.size());
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[3], 1u);
+  EXPECT_EQ(out[2], 1u);  // 0.5 lands in bucket 2 of [0,1) split in 4
+}
+
+TEST_P(RecordAnalytics, MutualInformationMatchesReference) {
+  // Correlated pairs: y = x + noise, giving clearly positive MI.
+  Rng rng(31);
+  const std::size_t pairs = 8000;
+  std::vector<double> data(2 * pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const double x = rng.uniform(0.0, 10.0);
+    data[2 * p] = x;
+    data[2 * p + 1] = x + rng.gaussian(0.0, 1.0);
+  }
+  MutualInformation<double> mi(SchedArgs(threads(), 2), 0.0, 10.0, 20, 20);
+  mi.run(data.data(), data.size(), nullptr, 0);
+  const double got = mi.mi();
+  const double expected = ref::mutual_information(data.data(), pairs, 0.0, 10.0, 20, 20);
+  EXPECT_NEAR(got, expected, 1e-9);
+  EXPECT_GT(got, 0.5);  // strongly dependent variables
+}
+
+TEST_P(RecordAnalytics, MutualInformationNearZeroForIndependentVariables) {
+  Rng rng(32);
+  const std::size_t pairs = 50000;
+  std::vector<double> data(2 * pairs);
+  for (auto& x : data) x = rng.uniform(0.0, 10.0);
+  MutualInformation<double> mi(SchedArgs(threads(), 2), 0.0, 10.0, 10, 10);
+  mi.run(data.data(), data.size(), nullptr, 0);
+  EXPECT_LT(mi.mi(), 0.02);  // only estimation bias remains
+}
+
+TEST_P(RecordAnalytics, MutualInformationRequiresPairChunks) {
+  EXPECT_THROW(MutualInformation<double>(SchedArgs(threads(), 3), 0.0, 1.0, 4, 4),
+               std::invalid_argument);
+}
+
+TEST_P(RecordAnalytics, LogisticRegressionMatchesReference) {
+  sim::LabeledEmulator emu({.records_per_step = 4000, .dim = 15, .seed = 77});
+  const double* data = emu.step();
+  const int iters = 10;
+  const double lr = 0.5;
+  LogisticRegression<double> reg(SchedArgs(threads(), 16, nullptr, iters), 15, lr);
+  std::vector<double> out(15, 0.0);
+  reg.run(data, emu.step_len(), out.data(), out.size());
+
+  const auto expected = ref::logistic_regression(data, 4000, 15, iters, lr, {});
+  const auto weights = reg.weights();
+  ASSERT_EQ(weights.size(), 15u);
+  for (std::size_t d = 0; d < 15; ++d) {
+    EXPECT_NEAR(weights[d], expected[d], 1e-9);
+    EXPECT_NEAR(out[d], expected[d], 1e-9);  // convert() wrote the same weights
+  }
+}
+
+TEST_P(RecordAnalytics, LogisticRegressionLearnsTheTruthDirection) {
+  sim::LabeledEmulator emu({.records_per_step = 20000, .dim = 5, .seed = 3});
+  const double* data = emu.step();
+  LogisticRegression<double> reg(SchedArgs(threads(), 6, nullptr, 50), 5, 1.0);
+  reg.run(data, emu.step_len(), nullptr, 0);
+  const auto w = reg.weights();
+  const auto& truth = emu.truth();
+  // Direction agreement: cosine similarity of learned vs true weights.
+  double dot = 0.0, nw = 0.0, nt = 0.0;
+  for (std::size_t d = 0; d < 5; ++d) {
+    dot += w[d] * truth[d];
+    nw += w[d] * w[d];
+    nt += truth[d] * truth[d];
+  }
+  EXPECT_GT(dot / std::sqrt(nw * nt), 0.95);
+}
+
+TEST_P(RecordAnalytics, LogisticRegressionSeedsFromExtraData) {
+  sim::LabeledEmulator emu({.records_per_step = 1000, .dim = 4, .seed = 9});
+  const double* data = emu.step();
+  const std::vector<double> init = {0.5, -0.5, 0.25, -0.25};
+  LogRegInit seed{init.data(), 4, 0.2};
+  LogisticRegression<double> reg(SchedArgs(threads(), 5, &seed, 3), 4, 0.2);
+  reg.run(data, emu.step_len(), nullptr, 0);
+  const auto expected = ref::logistic_regression(data, 1000, 4, 3, 0.2, init);
+  const auto weights = reg.weights();
+  for (std::size_t d = 0; d < 4; ++d) EXPECT_NEAR(weights[d], expected[d], 1e-9);
+}
+
+TEST_P(RecordAnalytics, KMeansFindsPlantedClusters) {
+  // Four well-separated planted clusters in 2D.
+  Rng rng(41);
+  const std::vector<std::pair<double, double>> centers = {{0, 0}, {50, 0}, {0, 50}, {50, 50}};
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) {
+    const auto& c = centers[static_cast<std::size_t>(i % 4)];
+    data.push_back(c.first + rng.gaussian(0.0, 1.0));
+    data.push_back(c.second + rng.gaussian(0.0, 1.0));
+  }
+  const std::vector<double> init = {1, 1, 49, 1, 1, 49, 49, 49};
+  KMeansInit seed{init.data(), 4, 2};
+  KMeans<double> km(SchedArgs(threads(), 2, &seed, 15), 4, 2);
+  km.run(data.data(), data.size(), nullptr, 0);
+  const auto got = km.centroids();
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(got[c * 2], centers[c].first, 0.2);
+    EXPECT_NEAR(got[c * 2 + 1], centers[c].second, 0.2);
+  }
+}
+
+TEST_P(RecordAnalytics, KMeansEmptyClusterKeepsCentroid) {
+  // One centroid is far from all data and must survive untouched.
+  const std::vector<double> data = {1.0, 1.1, 0.9, 1.05};
+  const std::vector<double> init = {1.0, 1000.0};
+  KMeansInit seed{init.data(), 2, 1};
+  KMeans<double> km(SchedArgs(threads(), 1, &seed, 5), 2, 1);
+  km.run(data.data(), data.size(), nullptr, 0);
+  const auto got = km.centroids();
+  EXPECT_NEAR(got[0], 1.0125, 1e-9);
+  EXPECT_DOUBLE_EQ(got[1], 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RecordAnalytics, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,126 @@
+// Baseline tests: the hand-written low-level analytics must be exactly
+// equivalent to the references (and hence to Smart), across threads and
+// ranks; the offline StepStore must round-trip simulation output.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "analytics/reference.h"
+#include "baselines/lowlevel.h"
+#include "baselines/offline.h"
+#include "common/rng.h"
+#include "simmpi/world.h"
+
+namespace smart::baselines {
+namespace {
+
+class LowLevelThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(LowLevelThreads, KMeansMatchesReference) {
+  Rng rng(91);
+  const std::size_t dims = 3, k = 4, n = 2000;
+  const auto points = rng.gaussian_vector(n * dims, 0.0, 5.0);
+  std::vector<double> init(k * dims);
+  for (auto& c : init) c = rng.gaussian(0.0, 5.0);
+
+  ThreadPool pool(GetParam());
+  const auto got = lowlevel_kmeans(points.data(), n, dims, k, 7, init, pool, nullptr);
+  const auto expected = analytics::ref::kmeans(points.data(), n, dims, k, 7, init);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], expected[i], 1e-9);
+}
+
+TEST_P(LowLevelThreads, LogRegMatchesReference) {
+  Rng rng(92);
+  const std::size_t dim = 6, n = 1500;
+  std::vector<double> records(n * (dim + 1));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t d = 0; d < dim; ++d) records[r * (dim + 1) + d] = rng.gaussian();
+    records[r * (dim + 1) + dim] = rng.uniform() < 0.5 ? 0.0 : 1.0;
+  }
+  ThreadPool pool(GetParam());
+  const auto got = lowlevel_logreg(records.data(), n, dim, 5, 0.25, pool, nullptr);
+  const auto expected =
+      analytics::ref::logistic_regression(records.data(), n, dim, 5, 0.25, {});
+  for (std::size_t d = 0; d < dim; ++d) EXPECT_NEAR(got[d], expected[d], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, LowLevelThreads, ::testing::Values(1, 2, 4, 8));
+
+TEST(LowLevelDistributed, KMeansAcrossRanksMatchesSerial) {
+  Rng rng(93);
+  const std::size_t dims = 2, k = 3, n = 1200;
+  const auto points = rng.gaussian_vector(n * dims, 0.0, 8.0);
+  std::vector<double> init(k * dims);
+  for (auto& c : init) c = rng.gaussian(0.0, 8.0);
+  const auto expected = analytics::ref::kmeans(points.data(), n, dims, k, 6, init);
+
+  simmpi::launch(3, [&](simmpi::Communicator& comm) {
+    const std::size_t per = n / 3 + (static_cast<std::size_t>(comm.rank()) < n % 3 ? 1 : 0);
+    std::size_t offset = 0;
+    for (int r = 0; r < comm.rank(); ++r) {
+      offset += n / 3 + (static_cast<std::size_t>(r) < n % 3 ? 1 : 0);
+    }
+    ThreadPool pool(2);
+    const auto got =
+        lowlevel_kmeans(points.data() + offset * dims, per, dims, k, 6, init, pool, &comm);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], expected[i], 1e-9) << "rank " << comm.rank();
+    }
+  });
+}
+
+TEST(LowLevelDistributed, LogRegAcrossRanksMatchesSerial) {
+  Rng rng(94);
+  const std::size_t dim = 4, n = 900;
+  std::vector<double> records(n * (dim + 1));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t d = 0; d < dim; ++d) records[r * (dim + 1) + d] = rng.gaussian();
+    records[r * (dim + 1) + dim] = rng.uniform() < 0.5 ? 0.0 : 1.0;
+  }
+  const auto expected = analytics::ref::logistic_regression(records.data(), n, dim, 4, 0.3, {});
+
+  simmpi::launch(2, [&](simmpi::Communicator& comm) {
+    const std::size_t half = n / 2;
+    const std::size_t offset = comm.rank() == 0 ? 0 : half;
+    const std::size_t count = comm.rank() == 0 ? half : n - half;
+    ThreadPool pool(2);
+    const auto got = lowlevel_logreg(records.data() + offset * (dim + 1), count, dim, 4, 0.3,
+                                     pool, &comm);
+    for (std::size_t d = 0; d < dim; ++d) ASSERT_NEAR(got[d], expected[d], 1e-9);
+  });
+}
+
+TEST(StepStore, WriteReadRoundTrip) {
+  StepStore store("/tmp/smart_test_store");
+  Rng rng(95);
+  const auto data = rng.gaussian_vector(4096);
+  store.write_step(0, 3, data.data(), data.size());
+  const auto back = store.read_step(0, 3);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(store.bytes_written(), 4096 * sizeof(double));
+  EXPECT_EQ(store.bytes_read(), 4096 * sizeof(double));
+  EXPECT_GT(store.write_seconds(), 0.0);
+  EXPECT_GT(store.read_seconds(), 0.0);
+  store.cleanup();
+  EXPECT_THROW(store.read_step(0, 3), std::runtime_error);
+}
+
+TEST(StepStore, DistinguishesRanksAndSteps) {
+  StepStore store("/tmp/smart_test_store2");
+  const std::vector<double> a = {1.0}, b = {2.0}, c = {3.0};
+  store.write_step(0, 0, a.data(), 1);
+  store.write_step(1, 0, b.data(), 1);
+  store.write_step(0, 1, c.data(), 1);
+  EXPECT_DOUBLE_EQ(store.read_step(0, 0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(store.read_step(1, 0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(store.read_step(0, 1)[0], 3.0);
+  store.cleanup();
+}
+
+TEST(StepStore, MissingFileThrows) {
+  StepStore store("/tmp/smart_test_store3");
+  EXPECT_THROW(store.read_step(9, 9), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace smart::baselines

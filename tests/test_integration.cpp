@@ -1,0 +1,252 @@
+// End-to-end integration tests: complete simulation + in-situ analytics
+// pipelines across modes, matching the offline replay of the same code;
+// thread-parallel simulations vs their serial sweeps; and cross-mode
+// equality on identical streams.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "analytics/histogram.h"
+#include "common/rng.h"
+#include "analytics/kmeans.h"
+#include "analytics/moving_average.h"
+#include "analytics/mutual_information.h"
+#include "analytics/reference.h"
+#include "baselines/lowlevel.h"
+#include "baselines/offline.h"
+#include "sim/heat3d.h"
+#include "sim/minilulesh.h"
+#include "simmpi/world.h"
+
+namespace smart {
+namespace {
+
+using namespace analytics;
+
+TEST(Integration, InsituEqualsOfflineOnHeat3D) {
+  // The same Histogram scheduler analyzes (a) the live simulation slabs and
+  // (b) the slabs written to and read back from storage: results identical.
+  constexpr int kSteps = 4;
+  RunOptions acc;
+  acc.accumulate_across_runs = true;
+
+  Histogram<double> insitu(SchedArgs(2, 1), 0.0, 1.0, 24, acc);
+  baselines::StepStore store("/tmp/smart_it_store");
+  {
+    sim::Heat3D heat({.nx = 16, .ny = 16, .nz_local = 12}, nullptr);
+    for (int s = 0; s < kSteps; ++s) {
+      heat.step();
+      insitu.run(heat.output(), heat.output_len(), nullptr, 0);
+      store.write_step(0, s, heat.output(), heat.output_len());
+    }
+  }
+
+  Histogram<double> offline(SchedArgs(2, 1), 0.0, 1.0, 24, acc);
+  for (int s = 0; s < kSteps; ++s) {
+    const auto data = store.read_step(0, s);
+    offline.run(data.data(), data.size(), nullptr, 0);
+  }
+  store.cleanup();
+
+  std::vector<std::size_t> a(24, 0), b(24, 0);
+  insitu.run(nullptr, 0, a.data(), a.size());
+  offline.run(nullptr, 0, b.data(), b.size());
+  EXPECT_EQ(a, b);
+  std::size_t total = 0;
+  for (std::size_t c : a) total += c;
+  EXPECT_EQ(total, kSteps * 16u * 16u * 12u);
+}
+
+TEST(Integration, PooledHeat3DMatchesSerialSweep) {
+  constexpr int kSteps = 20;
+  sim::Heat3D serial({.nx = 12, .ny = 12, .nz_local = 10}, nullptr);
+  ThreadPool pool(4);
+  sim::Heat3D pooled({.nx = 12, .ny = 12, .nz_local = 10}, nullptr, &pool);
+  for (int s = 0; s < kSteps; ++s) {
+    serial.step();
+    pooled.step();
+  }
+  for (std::size_t i = 0; i < serial.output_len(); ++i) {
+    ASSERT_DOUBLE_EQ(pooled.output()[i], serial.output()[i]) << i;
+  }
+}
+
+TEST(Integration, PooledMiniLuleshMatchesSerialSweep) {
+  constexpr int kSteps = 30;
+  sim::MiniLulesh serial({.edge = 10}, nullptr);
+  ThreadPool pool(3);
+  sim::MiniLulesh pooled({.edge = 10}, nullptr, &pool);
+  for (int s = 0; s < kSteps; ++s) {
+    serial.step();
+    pooled.step();
+  }
+  for (std::size_t i = 0; i < serial.output_len(); ++i) {
+    ASSERT_DOUBLE_EQ(pooled.output()[i], serial.output()[i]) << i;
+  }
+  EXPECT_NEAR(pooled.local_energy(), serial.local_energy(), 1e-9);
+}
+
+TEST(Integration, PooledMiniLuleshConservesEnergyAcrossRanks) {
+  std::vector<double> energy(2, 0.0);
+  simmpi::launch(2, [&](simmpi::Communicator& comm) {
+    ThreadPool pool(2);
+    sim::MiniLulesh sim({.edge = 8}, &comm, &pool);
+    for (int s = 0; s < 40; ++s) sim.step();
+    energy[static_cast<std::size_t>(comm.rank())] = sim.local_energy();
+  });
+  const double expected = 2 * 8.0 * 8.0 * 8.0 + 1000.0;
+  EXPECT_NEAR(energy[0] + energy[1], expected, expected * 1e-12);
+}
+
+TEST(Integration, TimeAndSpaceSharingAgreeOnLiveSimulation) {
+  // The same MiniLulesh stream analyzed by both in-situ modes.
+  constexpr int kSteps = 3;
+  std::vector<std::vector<double>> recorded;
+  {
+    sim::MiniLulesh lulesh({.edge = 10}, nullptr);
+    for (int s = 0; s < kSteps; ++s) {
+      lulesh.step();
+      recorded.emplace_back(lulesh.output(), lulesh.output() + lulesh.output_len());
+    }
+  }
+  RunOptions acc;
+  acc.accumulate_across_runs = true;
+
+  Histogram<double> time_mode(SchedArgs(2, 1), 0.0, 16.0, 20, acc);
+  for (const auto& step : recorded) time_mode.run(step.data(), step.size(), nullptr, 0);
+
+  Histogram<double> space_mode(SchedArgs(2, 1), 0.0, 16.0, 20, acc);
+  std::thread producer([&] {
+    for (const auto& step : recorded) space_mode.feed(step.data(), step.size());
+    space_mode.close_feed();
+  });
+  while (space_mode.run(nullptr, 0)) {
+  }
+  producer.join();
+
+  std::vector<std::size_t> a(20, 0), b(20, 0);
+  time_mode.run(nullptr, 0, a.data(), a.size());
+  space_mode.run(nullptr, 0, b.data(), b.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Integration, IterativeKMeansReseededAcrossStepsIsRankCountInvariant) {
+  // The Figure 1 pipeline: k-means reseeded with the previous step's
+  // centroids, on a rank-partitioned Heat3D domain.  The centroid
+  // trajectory must not depend on how many ranks simulate the domain.
+  constexpr int kSteps = 3;
+  constexpr std::size_t kNzGlobal = 12;
+  auto run_with_ranks = [&](int nranks) {
+    std::vector<double> trajectory;
+    simmpi::launch(nranks, [&](simmpi::Communicator& comm) {
+      sim::Heat3D heat({.nx = 12, .ny = 12, .nz_local = kNzGlobal / static_cast<std::size_t>(nranks)},
+                       &comm);
+      std::vector<double> centroids = {0.1, 0.5, 0.9};
+      for (int s = 0; s < kSteps; ++s) {
+        heat.step();
+        KMeansInit seed{centroids.data(), 3, 1};
+        KMeans<double> km(SchedArgs(2, 1, &seed, 4), 3, 1);
+        km.run(heat.output(), heat.output_len(), nullptr, 0);
+        centroids = km.centroids();
+      }
+      if (comm.rank() == 0) trajectory = centroids;
+    });
+    return trajectory;
+  };
+  const auto one = run_with_ranks(1);
+  const auto three = run_with_ranks(3);
+  ASSERT_EQ(one.size(), three.size());
+  for (std::size_t i = 0; i < one.size(); ++i) EXPECT_NEAR(one[i], three[i], 1e-9);
+}
+
+TEST(Integration, SmartMatchesLowLevelBaselineExactly) {
+  // The Figure 6 comparison is only meaningful because both systems
+  // compute the same thing; verify bit-level agreement end to end.
+  Rng rng(101);
+  const std::size_t dims = 8, k = 3, n = 1000;
+  const auto points = rng.gaussian_vector(n * dims, 0.0, 4.0);
+  std::vector<double> init(k * dims);
+  for (auto& c : init) c = rng.gaussian(0.0, 4.0);
+
+  KMeansInit seed{init.data(), k, dims};
+  KMeans<double> km(SchedArgs(3, dims, &seed, 6), k, dims);
+  km.run(points.data(), points.size(), nullptr, 0);
+  const auto smart_centroids = km.centroids();
+
+  ThreadPool pool(3);
+  const auto lowlevel = baselines::lowlevel_kmeans(points.data(), n, dims, k, 6, init, pool,
+                                                   nullptr);
+  for (std::size_t i = 0; i < smart_centroids.size(); ++i) {
+    EXPECT_NEAR(smart_centroids[i], lowlevel[i], 1e-12);
+  }
+}
+
+TEST(Integration, WindowPipelineOnLiveHeat3D) {
+  // Moving average over a live simulation slab equals the reference over a
+  // snapshot of the same slab (no copies were made in between: zero-copy
+  // read pointer semantics).
+  sim::Heat3D heat({.nx = 16, .ny = 16, .nz_local = 8}, nullptr);
+  for (int s = 0; s < 10; ++s) heat.step();
+
+  const std::vector<double> snapshot(heat.output(), heat.output() + heat.output_len());
+  MovingAverage<double> ma(SchedArgs(3, 1), 9);
+  std::vector<double> out(heat.output_len(), 0.0);
+  ma.run2(heat.output(), heat.output_len(), out.data(), out.size());
+
+  const auto expected = ref::moving_average(snapshot.data(), snapshot.size(), 9);
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_NEAR(out[i], expected[i], 1e-9);
+  EXPECT_DOUBLE_EQ(ma.stats().copy_seconds, 0.0);
+}
+
+TEST(Integration, WorkerExceptionPropagatesThroughRun) {
+  // Failure injection: a user accumulate() that throws must surface on the
+  // caller, and the scheduler must stay usable.
+  class Exploding : public Scheduler<double, double> {
+   public:
+    explicit Exploding(const SchedArgs& args) : Scheduler<double, double>(args) {}
+    bool armed = true;
+
+   protected:
+    int gen_key(const Chunk&, const double*, const CombinationMap&) const override { return 0; }
+    void accumulate(const Chunk&, const double*, std::unique_ptr<RedObj>& obj) override {
+      if (armed) throw std::runtime_error("user accumulate failed");
+      if (!obj) obj = std::make_unique<analytics::GridObj>();
+      static_cast<analytics::GridObj&>(*obj).count += 1;
+    }
+    void merge(const RedObj& src, std::unique_ptr<RedObj>& dst) override {
+      static_cast<analytics::GridObj&>(*dst).count +=
+          static_cast<const analytics::GridObj&>(src).count;
+    }
+  };
+  const std::vector<double> data(100, 1.0);
+  Exploding sched(SchedArgs(2, 1));
+  EXPECT_THROW(sched.run(data.data(), data.size(), nullptr, 0), std::runtime_error);
+  sched.armed = false;
+  sched.run(data.data(), data.size(), nullptr, 0);
+  EXPECT_EQ(static_cast<const analytics::GridObj&>(*sched.get_combination_map().at(0)).count,
+            100u);
+}
+
+TEST(Integration, MutualInformationPipelineAcrossModes) {
+  Rng rng(102);
+  const std::size_t pairs = 4000;
+  std::vector<double> data(2 * pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const double x = rng.uniform(0.0, 1.0);
+    data[2 * p] = x;
+    data[2 * p + 1] = x * x + rng.gaussian(0.0, 0.05);
+  }
+  MutualInformation<double> time_mode(SchedArgs(2, 2), 0.0, 1.0, 12, 12);
+  time_mode.run(data.data(), data.size(), nullptr, 0);
+
+  MutualInformation<double> space_mode(SchedArgs(2, 2), 0.0, 1.0, 12, 12);
+  space_mode.feed(data.data(), data.size());
+  space_mode.close_feed();
+  EXPECT_TRUE(space_mode.run(nullptr, 0));
+
+  EXPECT_NEAR(time_mode.mi(), space_mode.mi(), 1e-12);
+  EXPECT_GT(time_mode.mi(), 0.3);
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,134 @@
+// Unit tests for the small dense linear algebra used by Savitzky-Golay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/linalg.h"
+#include "common/rng.h"
+
+namespace smart {
+namespace {
+
+TEST(Linalg, SolvesIdentity) {
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+  const auto x = solve_linear_system(a, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(Linalg, SolvesSystemNeedingPivot) {
+  // First pivot is zero; partial pivoting must handle it.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;
+  const auto x = solve_linear_system(a, {3.0, 5.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Linalg, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Linalg, RandomSystemsSolveAccurately) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 8);
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.gaussian();
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+      a(i, i) += 4.0;  // diagonally dominant => well conditioned
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+    }
+    const auto x = solve_linear_system(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Linalg, GramMatchesManual) {
+  Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  a(2, 0) = 5;
+  a(2, 1) = 6;
+  const Matrix g = gram(a);
+  EXPECT_DOUBLE_EQ(g(0, 0), 35.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 44.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 44.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 56.0);
+}
+
+class SavitzkyGolayCoeffs : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SavitzkyGolayCoeffs, PreservesPolynomialsUpToOrder) {
+  const auto [window, order] = GetParam();
+  const auto c = savitzky_golay_coefficients(window, order);
+  ASSERT_EQ(c.size(), static_cast<std::size_t>(window));
+  // The filter must reproduce any polynomial of degree <= order exactly at
+  // the window center: sum_j c[j] * p(j - half) == p(0).
+  const int half = window / 2;
+  for (int deg = 0; deg <= order; ++deg) {
+    double acc = 0.0;
+    for (int j = 0; j < window; ++j) {
+      acc += c[static_cast<std::size_t>(j)] * std::pow(static_cast<double>(j - half), deg);
+    }
+    const double expected = deg == 0 ? 1.0 : 0.0;
+    EXPECT_NEAR(acc, expected, 1e-9) << "window=" << window << " order=" << order
+                                     << " degree=" << deg;
+  }
+}
+
+TEST_P(SavitzkyGolayCoeffs, CoefficientsAreSymmetric) {
+  const auto [window, order] = GetParam();
+  const auto c = savitzky_golay_coefficients(window, order);
+  for (int j = 0; j < window / 2; ++j) {
+    EXPECT_NEAR(c[static_cast<std::size_t>(j)], c[static_cast<std::size_t>(window - 1 - j)], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SavitzkyGolayCoeffs,
+                         ::testing::Values(std::pair{5, 2}, std::pair{7, 2}, std::pair{9, 3},
+                                           std::pair{11, 4}, std::pair{25, 4}, std::pair{25, 2},
+                                           std::pair{5, 4}, std::pair{3, 1}));
+
+TEST(SavitzkyGolayCoeffsErrors, RejectsBadParameters) {
+  EXPECT_THROW(savitzky_golay_coefficients(4, 2), std::invalid_argument);   // even window
+  EXPECT_THROW(savitzky_golay_coefficients(-5, 2), std::invalid_argument);  // negative
+  EXPECT_THROW(savitzky_golay_coefficients(5, 5), std::invalid_argument);   // order >= window
+  EXPECT_THROW(savitzky_golay_coefficients(5, -1), std::invalid_argument);
+}
+
+TEST(SavitzkyGolayCoeffsKnown, MatchesPublishedQuadraticFivePoint) {
+  // The classic 5-point quadratic smoother: (-3, 12, 17, 12, -3) / 35.
+  const auto c = savitzky_golay_coefficients(5, 2);
+  EXPECT_NEAR(c[0], -3.0 / 35.0, 1e-10);
+  EXPECT_NEAR(c[1], 12.0 / 35.0, 1e-10);
+  EXPECT_NEAR(c[2], 17.0 / 35.0, 1e-10);
+  EXPECT_NEAR(c[3], 12.0 / 35.0, 1e-10);
+  EXPECT_NEAR(c[4], -3.0 / 35.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace smart

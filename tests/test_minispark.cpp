@@ -1,0 +1,178 @@
+// MiniSpark engine tests: RDD semantics, shuffle correctness, serde round
+// trips, and equivalence of the three comparison apps with both the serial
+// references and the Smart implementations.
+#include <gtest/gtest.h>
+
+#include "analytics/reference.h"
+#include "common/rng.h"
+#include "minispark/apps.h"
+#include "minispark/rdd.h"
+
+namespace smart::minispark {
+namespace {
+
+SparkContext::Config quiet_config(int workers = 2) {
+  SparkContext::Config cfg;
+  cfg.worker_threads = workers;
+  cfg.service_threads = 0;  // keep unit tests deterministic and quiet
+  return cfg;
+}
+
+TEST(Serde, PairVectorRoundTrip) {
+  const std::vector<std::pair<int, std::vector<double>>> part = {
+      {1, {1.0, 2.0}}, {2, {}}, {-5, {3.5}}};
+  const auto back = roundtrip_partition(part);
+  EXPECT_EQ(back, part);
+}
+
+TEST(Serde, TrivialRoundTrip) {
+  const std::vector<double> part = {1.0, -2.0, 1e12};
+  EXPECT_EQ(roundtrip_partition(part), part);
+}
+
+TEST(SparkContext, RejectsBadWorkerCount) {
+  SparkContext::Config cfg;
+  cfg.worker_threads = 0;
+  EXPECT_THROW(SparkContext ctx(cfg), std::invalid_argument);
+}
+
+TEST(Rdd, ParallelizeAndCollectPreservesOrder) {
+  SparkContext ctx(quiet_config());
+  std::vector<int> data(1000);
+  for (int i = 0; i < 1000; ++i) data[static_cast<std::size_t>(i)] = i;
+  const auto rdd = RDD<int>::parallelize(ctx, data);
+  EXPECT_EQ(rdd.collect(), data);
+  EXPECT_EQ(rdd.count(), 1000u);
+}
+
+TEST(Rdd, MapTransforms) {
+  SparkContext ctx(quiet_config());
+  const auto rdd = RDD<int>::parallelize(ctx, {1, 2, 3, 4});
+  const auto doubled = rdd.map<double>([](const int& x) { return x * 2.0; });
+  EXPECT_EQ(doubled.collect(), (std::vector<double>{2.0, 4.0, 6.0, 8.0}));
+}
+
+TEST(Rdd, ReduceFoldsAllPartitions) {
+  SparkContext ctx(quiet_config(3));
+  std::vector<int> data(501);
+  for (int i = 0; i <= 500; ++i) data[static_cast<std::size_t>(i)] = i;
+  const auto rdd = RDD<int>::parallelize(ctx, data);
+  EXPECT_EQ(rdd.reduce([](const int& a, const int& b) { return a + b; }), 500 * 501 / 2);
+}
+
+TEST(Rdd, ReduceOnEmptyThrows) {
+  SparkContext ctx(quiet_config());
+  const auto rdd = RDD<int>::parallelize(ctx, {});
+  EXPECT_THROW(rdd.reduce([](const int& a, const int& b) { return a + b; }), std::runtime_error);
+}
+
+TEST(Rdd, ReduceByKeyGroupsAcrossPartitions) {
+  SparkContext ctx(quiet_config(4));
+  std::vector<int> data;
+  for (int i = 0; i < 1200; ++i) data.push_back(i);
+  const auto rdd = RDD<int>::parallelize(ctx, data);
+  const auto pairs = rdd.map_to_pair<int, int>([](const int& x) {
+    return std::pair<int, int>{x % 7, 1};
+  });
+  auto counts = pairs.reduce_by_key([](const int& a, const int& b) { return a + b; });
+  std::map<int, int> got;
+  for (const auto& [k, v] : counts.collect()) got[k] = v;
+  ASSERT_EQ(got.size(), 7u);
+  int total = 0;
+  for (const auto& [k, v] : got) total += v;
+  EXPECT_EQ(total, 1200);
+  EXPECT_EQ(got[0], 172);  // 1200/7 rounded by residue class
+}
+
+TEST(Rdd, FlatMapEmitsMultiplePairs) {
+  SparkContext ctx(quiet_config());
+  const auto rdd = RDD<int>::parallelize(ctx, {1, 2, 3});
+  const auto pairs = rdd.flat_map_to_pair<int, int>(
+      [](const int& x, std::vector<std::pair<int, int>>& out) {
+        for (int i = 0; i < x; ++i) out.emplace_back(x, 1);
+      });
+  EXPECT_EQ(pairs.count(), 6u);  // 1 + 2 + 3
+}
+
+TEST(Rdd, StageBoundariesAccumulateShuffleBytes) {
+  SparkContext ctx(quiet_config());
+  const auto rdd = RDD<double>::parallelize(ctx, {1.0, 2.0, 3.0});
+  EXPECT_GT(ctx.bytes_shuffled(), 0u);  // parallelize already serializes
+  const std::size_t before = ctx.bytes_shuffled();
+  (void)rdd.map<double>([](const double& x) { return x + 1.0; });
+  EXPECT_GT(ctx.bytes_shuffled(), before);
+  EXPECT_GE(ctx.stages_run(), 1u);
+}
+
+TEST(Rdd, SerializationOffSkipsShuffleAccounting) {
+  SparkContext::Config cfg = quiet_config();
+  cfg.serialize_stages = false;
+  SparkContext ctx(cfg);
+  (void)RDD<double>::parallelize(ctx, {1.0, 2.0});
+  EXPECT_EQ(ctx.bytes_shuffled(), 0u);
+}
+
+TEST(Rdd, MaterializedRddsChargeMemoryTracker) {
+  auto& tracker = MemoryTracker::instance();
+  tracker.reset();
+  SparkContext ctx(quiet_config());
+  {
+    Rng rng(5);
+    const auto data = rng.gaussian_vector(1 << 14);
+    const auto rdd = RDD<double>::parallelize(ctx, data);
+    const auto mapped = rdd.map<double>([](const double& x) { return x * 2.0; });
+    // Two live materialized RDDs: at least 2x the input bytes.
+    EXPECT_GE(tracker.current_in(MemCategory::kFramework), 2 * (1u << 14) * sizeof(double));
+  }
+  EXPECT_EQ(tracker.current_in(MemCategory::kFramework), 0u);
+  tracker.reset();
+}
+
+TEST(SparkApps, HistogramMatchesReference) {
+  SparkContext ctx(quiet_config(4));
+  Rng rng(81);
+  const auto data = rng.gaussian_vector(20000);
+  const auto got = spark_histogram(ctx, data, -4.0, 4.0, 100);
+  const auto expected = analytics::ref::histogram(data.data(), data.size(), -4.0, 4.0, 100);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SparkApps, KMeansMatchesReference) {
+  SparkContext ctx(quiet_config(3));
+  Rng rng(82);
+  const std::size_t dims = 4, k = 5, n = 1500;
+  const auto points = rng.gaussian_vector(n * dims, 0.0, 10.0);
+  std::vector<double> init(k * dims);
+  for (std::size_t i = 0; i < init.size(); ++i) init[i] = rng.gaussian(0.0, 10.0);
+  const auto got = spark_kmeans(ctx, points, dims, k, 8, init);
+  const auto expected = analytics::ref::kmeans(points.data(), n, dims, k, 8, init);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], expected[i], 1e-9);
+}
+
+TEST(SparkApps, LogRegMatchesReference) {
+  SparkContext ctx(quiet_config(2));
+  Rng rng(83);
+  const std::size_t dim = 8, n = 2000;
+  std::vector<double> records(n * (dim + 1));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t d = 0; d < dim; ++d) records[r * (dim + 1) + d] = rng.gaussian();
+    records[r * (dim + 1) + dim] = rng.uniform() < 0.5 ? 0.0 : 1.0;
+  }
+  const auto got = spark_logreg(ctx, records, dim, 6, 0.4);
+  const auto expected = analytics::ref::logistic_regression(records.data(), n, dim, 6, 0.4, {});
+  for (std::size_t d = 0; d < dim; ++d) EXPECT_NEAR(got[d], expected[d], 1e-9);
+}
+
+TEST(SparkApps, ServiceThreadsDoNotChangeResults) {
+  SparkContext::Config cfg = quiet_config(2);
+  cfg.service_threads = 2;
+  SparkContext ctx(cfg);
+  Rng rng(84);
+  const auto data = rng.gaussian_vector(5000);
+  const auto got = spark_histogram(ctx, data, -4.0, 4.0, 32);
+  EXPECT_EQ(got, analytics::ref::histogram(data.data(), data.size(), -4.0, 4.0, 32));
+}
+
+}  // namespace
+}  // namespace smart::minispark

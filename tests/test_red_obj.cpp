@@ -1,0 +1,217 @@
+// Tests for the reduction-object layer: registry, polymorphic map
+// serialization, merge_map_into semantics, and the concrete analytics
+// reduction objects' round trips.
+#include <gtest/gtest.h>
+
+#include "analytics/red_objs.h"
+#include "core/red_obj.h"
+
+namespace smart {
+namespace {
+
+using analytics::Bucket;
+using analytics::ClusterObj;
+using analytics::GradObj;
+using analytics::GridObj;
+using analytics::KdeObj;
+using analytics::SgObj;
+using analytics::WinMedianObj;
+using analytics::WinObj;
+
+TEST(Registry, CreatesRegisteredTypes) {
+  analytics::register_red_objs();
+  auto obj = RedObjRegistry::instance().create("Bucket");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->type_name(), "Bucket");
+}
+
+TEST(Registry, UnknownTypeThrows) {
+  EXPECT_THROW(RedObjRegistry::instance().create("NoSuchType"), std::runtime_error);
+}
+
+TEST(Registry, ContainsAllAnalyticsTypes) {
+  analytics::register_red_objs();
+  for (const char* name : {"GridObj", "Bucket", "CellObj", "GradObj", "ClusterObj", "WinObj",
+                           "WinMedianObj", "KdeObj", "SgObj"}) {
+    EXPECT_TRUE(RedObjRegistry::instance().contains(name)) << name;
+  }
+}
+
+TEST(RedObjs, CloneIsDeep) {
+  ClusterObj a;
+  a.centroid = {1.0, 2.0};
+  a.sum = {3.0, 4.0};
+  a.size = 5;
+  auto b = a.clone();
+  auto& bc = static_cast<ClusterObj&>(*b);
+  bc.sum[0] = 99.0;
+  EXPECT_DOUBLE_EQ(a.sum[0], 3.0);
+  EXPECT_DOUBLE_EQ(bc.centroid[1], 2.0);
+  EXPECT_EQ(bc.size, 5u);
+}
+
+TEST(RedObjs, SerializationRoundTripsEveryType) {
+  analytics::register_red_objs();
+  CombinationMap map;
+
+  auto grid = std::make_unique<GridObj>();
+  grid->sum = 12.5;
+  grid->count = 4;
+  map.emplace(0, std::move(grid));
+
+  auto bucket = std::make_unique<Bucket>();
+  bucket->count = 77;
+  map.emplace(1, std::move(bucket));
+
+  auto grad = std::make_unique<GradObj>();
+  grad->weights = {0.1, -0.2};
+  grad->grad = {1.5, 2.5};
+  grad->count = 3;
+  grad->learning_rate = 0.05;
+  map.emplace(2, std::move(grad));
+
+  auto cluster = std::make_unique<ClusterObj>();
+  cluster->centroid = {9.0};
+  cluster->sum = {1.0};
+  cluster->size = 2;
+  map.emplace(3, std::move(cluster));
+
+  auto win = std::make_unique<WinObj>();
+  win->sum = 6.0;
+  win->count = 3;
+  win->window = 5;
+  map.emplace(4, std::move(win));
+
+  auto med = std::make_unique<WinMedianObj>();
+  med->elems = {3.0, 1.0, 2.0};
+  med->window = 3;
+  map.emplace(5, std::move(med));
+
+  auto kde = std::make_unique<KdeObj>();
+  kde->kernel_sum = 0.25;
+  kde->count = 2;
+  kde->window = 7;
+  map.emplace(6, std::move(kde));
+
+  auto sg = std::make_unique<SgObj>();
+  sg->acc = -1.25;
+  sg->count = 5;
+  sg->window = 5;
+  map.emplace(7, std::move(sg));
+
+  Buffer buf;
+  serialize_map(map, buf);
+  const CombinationMap restored = deserialize_map(buf);
+  ASSERT_EQ(restored.size(), map.size());
+
+  EXPECT_DOUBLE_EQ(static_cast<const GridObj&>(*restored.at(0)).sum, 12.5);
+  EXPECT_EQ(static_cast<const GridObj&>(*restored.at(0)).count, 4u);
+  EXPECT_EQ(static_cast<const Bucket&>(*restored.at(1)).count, 77u);
+  const auto& g = static_cast<const GradObj&>(*restored.at(2));
+  EXPECT_EQ(g.weights, (std::vector<double>{0.1, -0.2}));
+  EXPECT_EQ(g.grad, (std::vector<double>{1.5, 2.5}));
+  EXPECT_EQ(g.count, 3u);
+  EXPECT_DOUBLE_EQ(g.learning_rate, 0.05);
+  EXPECT_EQ(static_cast<const ClusterObj&>(*restored.at(3)).size, 2u);
+  EXPECT_DOUBLE_EQ(static_cast<const WinObj&>(*restored.at(4)).sum, 6.0);
+  EXPECT_EQ(static_cast<const WinMedianObj&>(*restored.at(5)).elems.size(), 3u);
+  EXPECT_DOUBLE_EQ(static_cast<const KdeObj&>(*restored.at(6)).kernel_sum, 0.25);
+  EXPECT_DOUBLE_EQ(static_cast<const SgObj&>(*restored.at(7)).acc, -1.25);
+  // Keys are restored onto the objects too.
+  EXPECT_EQ(restored.at(7)->key(), 7);
+}
+
+TEST(RedObjs, EmptyMapRoundTrips) {
+  Buffer buf;
+  serialize_map(CombinationMap{}, buf);
+  EXPECT_TRUE(deserialize_map(buf).empty());
+}
+
+TEST(RedObjs, DeserializeUnknownTypeThrows) {
+  Buffer buf;
+  Writer w(buf);
+  w.write<std::uint64_t>(1);
+  w.write<std::int32_t>(0);
+  w.write_string("BogusType");
+  EXPECT_THROW(deserialize_map(buf), std::runtime_error);
+}
+
+TEST(MergeMapInto, MergesExistingMovesNew) {
+  const MergeFn merge = [](const RedObj& src, std::unique_ptr<RedObj>& dst) {
+    static_cast<Bucket&>(*dst).count += static_cast<const Bucket&>(src).count;
+  };
+  CombinationMap dst;
+  auto b1 = std::make_unique<Bucket>();
+  b1->count = 10;
+  dst.emplace(1, std::move(b1));
+
+  CombinationMap src;
+  auto b2 = std::make_unique<Bucket>();
+  b2->count = 5;
+  src.emplace(1, std::move(b2));
+  auto b3 = std::make_unique<Bucket>();
+  b3->count = 7;
+  src.emplace(2, std::move(b3));
+
+  merge_map_into(std::move(src), dst, merge);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(static_cast<const Bucket&>(*dst.at(1)).count, 15u);
+  EXPECT_EQ(static_cast<const Bucket&>(*dst.at(2)).count, 7u);
+}
+
+TEST(RedObjs, TriggerSemantics) {
+  WinObj win;
+  win.window = 3;
+  win.count = 2;
+  EXPECT_FALSE(win.trigger());
+  win.count = 3;
+  EXPECT_TRUE(win.trigger());
+  win.window = 0;  // unset threshold: never triggers
+  EXPECT_FALSE(win.trigger());
+
+  Bucket bucket;  // non-window objects never trigger
+  bucket.count = 1000000;
+  EXPECT_FALSE(bucket.trigger());
+}
+
+TEST(RedObjs, MedianOddAndEven) {
+  WinMedianObj m;
+  m.elems = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(m.median(), 3.0);
+  m.elems = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.median(), 2.5);
+  m.elems.clear();
+  EXPECT_THROW(m.median(), std::logic_error);
+}
+
+TEST(RedObjs, ClusterUpdateComputesCentroidAndResets) {
+  ClusterObj c;
+  c.centroid = {0.0, 0.0};
+  c.sum = {10.0, 20.0};
+  c.size = 5;
+  c.update();
+  EXPECT_DOUBLE_EQ(c.centroid[0], 2.0);
+  EXPECT_DOUBLE_EQ(c.centroid[1], 4.0);
+  EXPECT_DOUBLE_EQ(c.sum[0], 0.0);
+  EXPECT_EQ(c.size, 0u);
+
+  // Empty cluster keeps its centroid (the paper's k-means behaviour).
+  c.centroid = {7.0, 8.0};
+  c.update();
+  EXPECT_DOUBLE_EQ(c.centroid[0], 7.0);
+}
+
+TEST(RedObjs, GradUpdateAppliesStepAndResets) {
+  GradObj g;
+  g.weights = {1.0};
+  g.grad = {10.0};
+  g.count = 5;
+  g.learning_rate = 0.1;
+  g.update();
+  EXPECT_NEAR(g.weights[0], 1.0 - 0.1 * 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(g.grad[0], 0.0);
+  EXPECT_EQ(g.count, 0u);
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,131 @@
+// Unit tests for the byte-buffer serialization layer (common/serialize.h).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace smart {
+namespace {
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  Buffer buf;
+  Writer w(buf);
+  w.write<std::int32_t>(-42);
+  w.write<double>(3.5);
+  w.write<std::uint64_t>(1ULL << 60);
+  w.write<char>('x');
+
+  Reader r(buf);
+  EXPECT_EQ(r.read<std::int32_t>(), -42);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.5);
+  EXPECT_EQ(r.read<std::uint64_t>(), 1ULL << 60);
+  EXPECT_EQ(r.read<char>(), 'x');
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  Buffer buf;
+  Writer w(buf);
+  w.write_string("");
+  w.write_string("hello smart");
+  w.write_string(std::string(1000, 'z'));
+
+  Reader r(buf);
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), "hello smart");
+  EXPECT_EQ(r.read_string(), std::string(1000, 'z'));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  Buffer buf;
+  Writer w(buf);
+  const std::vector<double> doubles = {1.0, -2.5, 1e300, 0.0};
+  const std::vector<std::int16_t> shorts = {1, -1, 32767};
+  w.write_vector(doubles);
+  w.write_vector(shorts);
+  w.write_vector(std::vector<int>{});
+
+  Reader r(buf);
+  EXPECT_EQ(r.read_vector<double>(), doubles);
+  EXPECT_EQ(r.read_vector<std::int16_t>(), shorts);
+  EXPECT_TRUE(r.read_vector<int>().empty());
+}
+
+TEST(Serialize, SpanIntoCallerStorage) {
+  Buffer buf;
+  Writer w(buf);
+  const double data[3] = {1.0, 2.0, 3.0};
+  w.write_span(data, 3);
+
+  Reader r(buf);
+  double out[8] = {};
+  EXPECT_EQ(r.read_span(out, 8), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(Serialize, SpanOverflowThrows) {
+  Buffer buf;
+  Writer w(buf);
+  const double data[3] = {1.0, 2.0, 3.0};
+  w.write_span(data, 3);
+
+  Reader r(buf);
+  double out[2] = {};
+  EXPECT_THROW(r.read_span(out, 2), std::out_of_range);
+}
+
+TEST(Serialize, ReadPastEndThrows) {
+  Buffer buf;
+  Writer w(buf);
+  w.write<std::int32_t>(7);
+  Reader r(buf);
+  (void)r.read<std::int32_t>();
+  EXPECT_THROW(r.read<std::int32_t>(), std::out_of_range);
+}
+
+TEST(Serialize, CorruptLengthPrefixThrows) {
+  Buffer buf;
+  Writer w(buf);
+  w.write<std::uint64_t>(1ULL << 40);  // claims a huge vector follows
+  Reader r(buf);
+  EXPECT_THROW(r.read_vector<double>(), std::out_of_range);
+}
+
+TEST(Serialize, InterleavedMixedPayload) {
+  Rng rng(123);
+  Buffer buf;
+  Writer w(buf);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.gaussian();
+    values.push_back(v);
+    w.write(v);
+    w.write_string("tag" + std::to_string(i));
+  }
+  Reader r(buf);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(r.read<double>(), values[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(r.read_string(), "tag" + std::to_string(i));
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, RemainingTracksPosition) {
+  Buffer buf;
+  Writer w(buf);
+  w.write<std::uint32_t>(5);
+  w.write<std::uint32_t>(6);
+  Reader r(buf);
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.read<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace smart

@@ -1,0 +1,164 @@
+// Space-sharing mode tests (paper Listing 2 / Figure 4): concurrent
+// producer (simulation task feeding time-steps) and consumer (analytics
+// task), circular-buffer backpressure, stream close semantics, and result
+// equality with time-sharing mode.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "analytics/histogram.h"
+#include "analytics/kmeans.h"
+#include "analytics/moving_median.h"
+#include "analytics/reference.h"
+#include "common/rng.h"
+#include "core/scheduler.h"
+
+namespace smart {
+namespace {
+
+using namespace analytics;
+
+std::vector<std::vector<double>> make_steps(int steps, std::size_t len, std::uint64_t seed) {
+  std::vector<std::vector<double>> out;
+  for (int s = 0; s < steps; ++s) {
+    Rng rng(derive_seed(seed, static_cast<std::uint64_t>(s)));
+    std::vector<double> step(len);
+    for (auto& x : step) x = rng.uniform(0.0, 100.0);
+    out.push_back(std::move(step));
+  }
+  return out;
+}
+
+TEST(SpaceSharing, ProducerConsumerMatchesTimeSharing) {
+  const auto steps = make_steps(6, 4096, 71);
+
+  // Time-sharing pass: run() per step with cross-step accumulation.
+  RunOptions acc;
+  acc.accumulate_across_runs = true;
+  Histogram<double> time_mode(SchedArgs(2, 1), 0.0, 100.0, 16, acc);
+  for (const auto& s : steps) time_mode.run(s.data(), s.size(), nullptr, 0);
+
+  // Space-sharing pass: concurrent feed/run tasks.
+  Histogram<double> space_mode(SchedArgs(2, 1), 0.0, 100.0, 16, acc);
+  std::thread sim_task([&] {
+    for (const auto& s : steps) space_mode.feed(s.data(), s.size());
+    space_mode.close_feed();
+  });
+  std::vector<std::size_t> sink(16, 0);
+  int analyzed = 0;
+  while (space_mode.run(sink.data(), sink.size())) ++analyzed;
+  sim_task.join();
+  EXPECT_EQ(analyzed, 6);
+
+  // Same accumulated histogram either way.
+  std::vector<std::size_t> expected_total(16, 0);
+  for (const auto& [key, obj] : time_mode.get_combination_map()) {
+    expected_total[static_cast<std::size_t>(key)] = static_cast<const Bucket&>(*obj).count;
+  }
+  std::vector<std::size_t> got_total(16, 0);
+  for (const auto& [key, obj] : space_mode.get_combination_map()) {
+    got_total[static_cast<std::size_t>(key)] = static_cast<const Bucket&>(*obj).count;
+  }
+  EXPECT_EQ(got_total, expected_total);
+}
+
+TEST(SpaceSharing, BufferBackpressureBlocksProducer) {
+  RunOptions opts;
+  opts.buffer_cells = 2;
+  Histogram<double> hist(SchedArgs(1, 1), 0.0, 100.0, 4, opts);
+  const auto steps = make_steps(4, 512, 72);
+
+  std::atomic<int> fed{0};
+  std::thread sim_task([&] {
+    for (const auto& s : steps) {
+      hist.feed(s.data(), s.size());
+      fed.fetch_add(1);
+    }
+  });
+  // With 2 cells and no consumer, at most 2 feeds (buffer full, possibly a
+  // third blocked in-flight) can complete.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(fed.load(), 2);
+
+  std::vector<std::size_t> sink(4, 0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(hist.run(sink.data(), sink.size()));
+  sim_task.join();
+  EXPECT_EQ(fed.load(), 4);
+}
+
+TEST(SpaceSharing, RunReturnsFalseAfterCloseAndDrain) {
+  Histogram<double> hist(SchedArgs(1, 1), 0.0, 100.0, 4);
+  const auto steps = make_steps(2, 256, 73);
+  hist.feed(steps[0].data(), steps[0].size());
+  hist.feed(steps[1].data(), steps[1].size());
+  hist.close_feed();
+
+  std::vector<std::size_t> sink(4, 0);
+  EXPECT_TRUE(hist.run(sink.data(), sink.size()));
+  EXPECT_TRUE(hist.run(sink.data(), sink.size()));
+  EXPECT_FALSE(hist.run(sink.data(), sink.size()));
+  EXPECT_THROW(hist.feed(steps[0].data(), steps[0].size()), std::runtime_error);
+}
+
+TEST(SpaceSharing, FeedCopiesAreChargedAndReleased) {
+  auto& tracker = MemoryTracker::instance();
+  tracker.reset();
+  {
+    Histogram<double> hist(SchedArgs(1, 1), 0.0, 100.0, 4);
+    const auto steps = make_steps(1, 8192, 74);
+    hist.feed(steps[0].data(), steps[0].size());
+    EXPECT_GE(tracker.current_in(MemCategory::kInputCopy), 8192 * sizeof(double));
+    std::vector<std::size_t> sink(4, 0);
+    EXPECT_TRUE(hist.run(sink.data(), sink.size()));
+    EXPECT_EQ(tracker.current_in(MemCategory::kInputCopy), 0u);
+    EXPECT_GT(hist.stats().copy_seconds, 0.0);
+  }
+  tracker.reset();
+}
+
+TEST(SpaceSharing, IterativeKMeansPerStep) {
+  const std::size_t dims = 2, k = 2, n = 512;
+  const auto steps = make_steps(3, n * dims, 75);
+  const std::vector<double> init = {10.0, 10.0, 90.0, 90.0};
+  KMeansInit seed{init.data(), k, dims};
+  KMeans<double> km(SchedArgs(2, dims, &seed, 5), k, dims);
+
+  std::thread sim_task([&] {
+    for (const auto& s : steps) km.feed(s.data(), s.size());
+    km.close_feed();
+  });
+  int analyzed = 0;
+  while (km.run(nullptr, 0)) {
+    // After each step the centroids equal the serial per-step result
+    // (each run seeds from the same extra data, per Listing 1 semantics).
+    const auto expected = analytics::ref::kmeans(
+        steps[static_cast<std::size_t>(analyzed)].data(), n, dims, k, 5, init);
+    const auto got = km.centroids();
+    for (std::size_t i = 0; i < got.size(); ++i) ASSERT_NEAR(got[i], expected[i], 1e-9);
+    ++analyzed;
+  }
+  sim_task.join();
+  EXPECT_EQ(analyzed, 3);
+}
+
+TEST(SpaceSharing, Run2WindowAnalyticsFromBuffer) {
+  const auto steps = make_steps(2, 1024, 76);
+  MovingMedian<double> mm(SchedArgs(2, 1), 11);
+  std::thread sim_task([&] {
+    for (const auto& s : steps) mm.feed(s.data(), s.size());
+    mm.close_feed();
+  });
+  std::vector<double> out(1024, 0.0);
+  int analyzed = 0;
+  while (mm.run2(out.data(), out.size())) {
+    const auto expected =
+        analytics::ref::moving_median(steps[static_cast<std::size_t>(analyzed)].data(), 1024, 11);
+    for (std::size_t i = 0; i < out.size(); ++i) ASSERT_NEAR(out[i], expected[i], 1e-9);
+    ++analyzed;
+  }
+  sim_task.join();
+  EXPECT_EQ(analyzed, 2);
+}
+
+}  // namespace
+}  // namespace smart

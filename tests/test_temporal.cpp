@@ -1,0 +1,78 @@
+// Tests for the temporal sliding window over per-step results.
+#include <gtest/gtest.h>
+
+#include "analytics/histogram.h"
+#include "analytics/reference.h"
+#include "analytics/summary_stats.h"
+#include "analytics/temporal_window.h"
+#include "common/rng.h"
+
+namespace smart {
+namespace {
+
+using namespace analytics;
+
+std::vector<std::vector<double>> make_steps(int n, std::size_t len) {
+  std::vector<std::vector<double>> steps;
+  for (int s = 0; s < n; ++s) {
+    Rng rng(derive_seed(800, static_cast<std::uint64_t>(s)));
+    std::vector<double> step(len);
+    for (auto& x : step) x = rng.uniform(0.0, 10.0);
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+TEST(TemporalWindow, SlidingHistogramCoversExactlyTheWindow) {
+  const auto steps = make_steps(6, 1000);
+  Histogram<double> hist(SchedArgs(2, 1), 0.0, 10.0, 8);
+  TemporalWindow<double, std::size_t> window(hist, 3);
+
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    hist.run(steps[s].data(), steps[s].size(), nullptr, 0);
+    window.push();
+    window.materialize_window();
+
+    // Reference: concatenation of the last <=3 steps.
+    std::vector<double> concat;
+    const std::size_t first = s + 1 >= 3 ? s - 2 : 0;
+    for (std::size_t i = first; i <= s; ++i) {
+      concat.insert(concat.end(), steps[i].begin(), steps[i].end());
+    }
+    std::vector<std::size_t> out(8, 0);
+    hist.convert_combination_map(out.data(), out.size());
+    EXPECT_EQ(out, ref::histogram(concat.data(), concat.size(), 0.0, 10.0, 8)) << "step " << s;
+    EXPECT_EQ(window.size(), std::min<std::size_t>(s + 1, 3));
+  }
+}
+
+TEST(TemporalWindow, SummaryStatsOverTimeWindow) {
+  const auto steps = make_steps(5, 500);
+  SummaryStats<double> stats(SchedArgs(2, 1));
+  TemporalWindow<double, double> window(stats, 2);
+
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    stats.run(steps[s].data(), steps[s].size(), nullptr, 0);
+    window.push();
+  }
+  window.materialize_window();
+  const Summary summary = stats.summary();
+  EXPECT_EQ(summary.count, 2u * 500u);  // only the last two steps
+
+  double mean = 0.0;
+  for (std::size_t i = 3; i <= 4; ++i) {
+    for (double x : steps[i]) mean += x;
+  }
+  mean /= 1000.0;
+  EXPECT_NEAR(summary.mean, mean, 1e-9);
+}
+
+TEST(TemporalWindow, RejectsDegenerateUse) {
+  Histogram<double> hist(SchedArgs(1, 1), 0.0, 1.0, 4);
+  EXPECT_THROW((TemporalWindow<double, std::size_t>(hist, 0)), std::invalid_argument);
+  TemporalWindow<double, std::size_t> window(hist, 2);
+  EXPECT_THROW(window.materialize_window(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace smart
