@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_insitu_vs_offline.dir/fig01_insitu_vs_offline.cpp.o"
+  "CMakeFiles/fig01_insitu_vs_offline.dir/fig01_insitu_vs_offline.cpp.o.d"
+  "fig01_insitu_vs_offline"
+  "fig01_insitu_vs_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_insitu_vs_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

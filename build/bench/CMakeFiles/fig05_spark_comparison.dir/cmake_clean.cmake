@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_spark_comparison.dir/fig05_spark_comparison.cpp.o"
+  "CMakeFiles/fig05_spark_comparison.dir/fig05_spark_comparison.cpp.o.d"
+  "fig05_spark_comparison"
+  "fig05_spark_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_spark_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

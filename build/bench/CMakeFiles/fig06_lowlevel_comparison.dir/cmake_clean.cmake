@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_lowlevel_comparison.dir/fig06_lowlevel_comparison.cpp.o"
+  "CMakeFiles/fig06_lowlevel_comparison.dir/fig06_lowlevel_comparison.cpp.o.d"
+  "fig06_lowlevel_comparison"
+  "fig06_lowlevel_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_lowlevel_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

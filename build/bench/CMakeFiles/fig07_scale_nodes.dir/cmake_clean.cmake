@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_scale_nodes.dir/fig07_scale_nodes.cpp.o"
+  "CMakeFiles/fig07_scale_nodes.dir/fig07_scale_nodes.cpp.o.d"
+  "fig07_scale_nodes"
+  "fig07_scale_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_scale_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_scale_threads.dir/fig08_scale_threads.cpp.o"
+  "CMakeFiles/fig08_scale_threads.dir/fig08_scale_threads.cpp.o.d"
+  "fig08_scale_threads"
+  "fig08_scale_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_scale_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

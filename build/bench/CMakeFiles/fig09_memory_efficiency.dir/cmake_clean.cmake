@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_memory_efficiency.dir/fig09_memory_efficiency.cpp.o"
+  "CMakeFiles/fig09_memory_efficiency.dir/fig09_memory_efficiency.cpp.o.d"
+  "fig09_memory_efficiency"
+  "fig09_memory_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_memory_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_space_sharing.dir/fig10_space_sharing.cpp.o"
+  "CMakeFiles/fig10_space_sharing.dir/fig10_space_sharing.cpp.o.d"
+  "fig10_space_sharing"
+  "fig10_space_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_space_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

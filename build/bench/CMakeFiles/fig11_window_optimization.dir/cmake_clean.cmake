@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_window_optimization.dir/fig11_window_optimization.cpp.o"
+  "CMakeFiles/fig11_window_optimization.dir/fig11_window_optimization.cpp.o.d"
+  "fig11_window_optimization"
+  "fig11_window_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_window_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

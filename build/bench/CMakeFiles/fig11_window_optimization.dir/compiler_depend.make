@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_window_optimization.
+# This may be replaced when dependencies are built.

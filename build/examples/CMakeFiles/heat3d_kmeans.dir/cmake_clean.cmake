@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat3d_kmeans.dir/heat3d_kmeans.cpp.o"
+  "CMakeFiles/heat3d_kmeans.dir/heat3d_kmeans.cpp.o.d"
+  "heat3d_kmeans"
+  "heat3d_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat3d_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

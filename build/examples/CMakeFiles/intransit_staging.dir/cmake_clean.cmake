@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intransit_staging.dir/intransit_staging.cpp.o"
+  "CMakeFiles/intransit_staging.dir/intransit_staging.cpp.o.d"
+  "intransit_staging"
+  "intransit_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intransit_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

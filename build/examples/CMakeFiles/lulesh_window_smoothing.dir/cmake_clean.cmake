@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lulesh_window_smoothing.dir/lulesh_window_smoothing.cpp.o"
+  "CMakeFiles/lulesh_window_smoothing.dir/lulesh_window_smoothing.cpp.o.d"
+  "lulesh_window_smoothing"
+  "lulesh_window_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lulesh_window_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

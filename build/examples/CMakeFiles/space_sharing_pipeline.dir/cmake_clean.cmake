@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_sharing_pipeline.dir/space_sharing_pipeline.cpp.o"
+  "CMakeFiles/space_sharing_pipeline.dir/space_sharing_pipeline.cpp.o.d"
+  "space_sharing_pipeline"
+  "space_sharing_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_sharing_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

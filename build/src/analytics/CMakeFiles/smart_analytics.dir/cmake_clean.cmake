@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_analytics.dir/red_objs.cpp.o"
+  "CMakeFiles/smart_analytics.dir/red_objs.cpp.o.d"
+  "CMakeFiles/smart_analytics.dir/reference.cpp.o"
+  "CMakeFiles/smart_analytics.dir/reference.cpp.o.d"
+  "CMakeFiles/smart_analytics.dir/render.cpp.o"
+  "CMakeFiles/smart_analytics.dir/render.cpp.o.d"
+  "libsmart_analytics.a"
+  "libsmart_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/lowlevel.cpp" "src/baselines/CMakeFiles/smart_baselines.dir/lowlevel.cpp.o" "gcc" "src/baselines/CMakeFiles/smart_baselines.dir/lowlevel.cpp.o.d"
+  "/root/repo/src/baselines/offline.cpp" "src/baselines/CMakeFiles/smart_baselines.dir/offline.cpp.o" "gcc" "src/baselines/CMakeFiles/smart_baselines.dir/offline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/smart_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/smart_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_baselines.dir/lowlevel.cpp.o"
+  "CMakeFiles/smart_baselines.dir/lowlevel.cpp.o.d"
+  "CMakeFiles/smart_baselines.dir/offline.cpp.o"
+  "CMakeFiles/smart_baselines.dir/offline.cpp.o.d"
+  "libsmart_baselines.a"
+  "libsmart_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

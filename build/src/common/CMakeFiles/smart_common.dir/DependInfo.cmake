@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/arg_parser.cpp" "src/common/CMakeFiles/smart_common.dir/arg_parser.cpp.o" "gcc" "src/common/CMakeFiles/smart_common.dir/arg_parser.cpp.o.d"
+  "/root/repo/src/common/linalg.cpp" "src/common/CMakeFiles/smart_common.dir/linalg.cpp.o" "gcc" "src/common/CMakeFiles/smart_common.dir/linalg.cpp.o.d"
+  "/root/repo/src/common/memory_tracker.cpp" "src/common/CMakeFiles/smart_common.dir/memory_tracker.cpp.o" "gcc" "src/common/CMakeFiles/smart_common.dir/memory_tracker.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/smart_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/smart_common.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_common.dir/arg_parser.cpp.o"
+  "CMakeFiles/smart_common.dir/arg_parser.cpp.o.d"
+  "CMakeFiles/smart_common.dir/linalg.cpp.o"
+  "CMakeFiles/smart_common.dir/linalg.cpp.o.d"
+  "CMakeFiles/smart_common.dir/memory_tracker.cpp.o"
+  "CMakeFiles/smart_common.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/smart_common.dir/table.cpp.o"
+  "CMakeFiles/smart_common.dir/table.cpp.o.d"
+  "libsmart_common.a"
+  "libsmart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

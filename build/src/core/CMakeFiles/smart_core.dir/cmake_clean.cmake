@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_core.dir/advisor.cpp.o"
+  "CMakeFiles/smart_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/smart_core.dir/red_obj.cpp.o"
+  "CMakeFiles/smart_core.dir/red_obj.cpp.o.d"
+  "libsmart_core.a"
+  "libsmart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minispark/apps.cpp" "src/minispark/CMakeFiles/smart_minispark.dir/apps.cpp.o" "gcc" "src/minispark/CMakeFiles/smart_minispark.dir/apps.cpp.o.d"
+  "/root/repo/src/minispark/context.cpp" "src/minispark/CMakeFiles/smart_minispark.dir/context.cpp.o" "gcc" "src/minispark/CMakeFiles/smart_minispark.dir/context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/smart_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_minispark.dir/apps.cpp.o"
+  "CMakeFiles/smart_minispark.dir/apps.cpp.o.d"
+  "CMakeFiles/smart_minispark.dir/context.cpp.o"
+  "CMakeFiles/smart_minispark.dir/context.cpp.o.d"
+  "libsmart_minispark.a"
+  "libsmart_minispark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_minispark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

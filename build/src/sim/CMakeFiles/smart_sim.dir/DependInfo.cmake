@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/emulator.cpp" "src/sim/CMakeFiles/smart_sim.dir/emulator.cpp.o" "gcc" "src/sim/CMakeFiles/smart_sim.dir/emulator.cpp.o.d"
+  "/root/repo/src/sim/heat3d.cpp" "src/sim/CMakeFiles/smart_sim.dir/heat3d.cpp.o" "gcc" "src/sim/CMakeFiles/smart_sim.dir/heat3d.cpp.o.d"
+  "/root/repo/src/sim/minilulesh.cpp" "src/sim/CMakeFiles/smart_sim.dir/minilulesh.cpp.o" "gcc" "src/sim/CMakeFiles/smart_sim.dir/minilulesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/smart_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/smart_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_sim.dir/emulator.cpp.o"
+  "CMakeFiles/smart_sim.dir/emulator.cpp.o.d"
+  "CMakeFiles/smart_sim.dir/heat3d.cpp.o"
+  "CMakeFiles/smart_sim.dir/heat3d.cpp.o.d"
+  "CMakeFiles/smart_sim.dir/minilulesh.cpp.o"
+  "CMakeFiles/smart_sim.dir/minilulesh.cpp.o.d"
+  "libsmart_sim.a"
+  "libsmart_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

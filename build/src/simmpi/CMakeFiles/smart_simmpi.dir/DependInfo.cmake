@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/communicator.cpp" "src/simmpi/CMakeFiles/smart_simmpi.dir/communicator.cpp.o" "gcc" "src/simmpi/CMakeFiles/smart_simmpi.dir/communicator.cpp.o.d"
+  "/root/repo/src/simmpi/mailbox.cpp" "src/simmpi/CMakeFiles/smart_simmpi.dir/mailbox.cpp.o" "gcc" "src/simmpi/CMakeFiles/smart_simmpi.dir/mailbox.cpp.o.d"
+  "/root/repo/src/simmpi/world.cpp" "src/simmpi/CMakeFiles/smart_simmpi.dir/world.cpp.o" "gcc" "src/simmpi/CMakeFiles/smart_simmpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

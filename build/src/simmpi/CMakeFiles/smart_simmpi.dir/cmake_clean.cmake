@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_simmpi.dir/communicator.cpp.o"
+  "CMakeFiles/smart_simmpi.dir/communicator.cpp.o.d"
+  "CMakeFiles/smart_simmpi.dir/mailbox.cpp.o"
+  "CMakeFiles/smart_simmpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/smart_simmpi.dir/world.cpp.o"
+  "CMakeFiles/smart_simmpi.dir/world.cpp.o.d"
+  "libsmart_simmpi.a"
+  "libsmart_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

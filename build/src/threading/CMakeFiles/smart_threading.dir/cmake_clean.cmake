@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_threading.dir/thread_pool.cpp.o"
+  "CMakeFiles/smart_threading.dir/thread_pool.cpp.o.d"
+  "libsmart_threading.a"
+  "libsmart_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

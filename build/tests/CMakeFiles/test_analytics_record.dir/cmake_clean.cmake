@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytics_record.dir/test_analytics_record.cpp.o"
+  "CMakeFiles/test_analytics_record.dir/test_analytics_record.cpp.o.d"
+  "test_analytics_record"
+  "test_analytics_record.pdb"
+  "test_analytics_record[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytics_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytics_window.dir/test_analytics_window.cpp.o"
+  "CMakeFiles/test_analytics_window.dir/test_analytics_window.cpp.o.d"
+  "test_analytics_window"
+  "test_analytics_window.pdb"
+  "test_analytics_window[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytics_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intransit.dir/test_intransit.cpp.o"
+  "CMakeFiles/test_intransit.dir/test_intransit.cpp.o.d"
+  "test_intransit"
+  "test_intransit.pdb"
+  "test_intransit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intransit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_red_obj.dir/test_red_obj.cpp.o"
+  "CMakeFiles/test_red_obj.dir/test_red_obj.cpp.o.d"
+  "test_red_obj"
+  "test_red_obj.pdb"
+  "test_red_obj[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_red_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_space_sharing.dir/test_space_sharing.cpp.o"
+  "CMakeFiles/test_space_sharing.dir/test_space_sharing.cpp.o.d"
+  "test_space_sharing"
+  "test_space_sharing.pdb"
+  "test_space_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_space_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wave3.dir/test_wave3.cpp.o"
+  "CMakeFiles/test_wave3.dir/test_wave3.cpp.o.d"
+  "test_wave3"
+  "test_wave3.pdb"
+  "test_wave3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wave3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wave4.dir/test_wave4.cpp.o"
+  "CMakeFiles/test_wave4.dir/test_wave4.cpp.o.d"
+  "test_wave4"
+  "test_wave4.pdb"
+  "test_wave4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wave4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

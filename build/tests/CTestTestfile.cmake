@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_common_util[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_threading[1]_include.cmake")
+include("/root/repo/build/tests/test_red_obj[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_analytics_record[1]_include.cmake")
+include("/root/repo/build/tests/test_analytics_window[1]_include.cmake")
+include("/root/repo/build/tests/test_distributed[1]_include.cmake")
+include("/root/repo/build/tests/test_space_sharing[1]_include.cmake")
+include("/root/repo/build/tests/test_sims[1]_include.cmake")
+include("/root/repo/build/tests/test_minispark[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_intransit[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_structural[1]_include.cmake")
+include("/root/repo/build/tests/test_wave3[1]_include.cmake")
+include("/root/repo/build/tests/test_wave4[1]_include.cmake")
+include("/root/repo/build/tests/test_temporal[1]_include.cmake")
+include("/root/repo/build/tests/test_param_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_bench_apps[1]_include.cmake")
