@@ -8,6 +8,8 @@
 // The *global problem size is fixed* while ranks vary (strong scaling), so
 // the per-rank slab shrinks as ranks grow.  Scaling is reported in virtual
 // makespan (see bench_util.h).
+#include <mutex>
+
 #include "bench/bench_apps.h"
 #include "bench/bench_util.h"
 #include "sim/heat3d.h"
@@ -21,7 +23,15 @@ constexpr int kThreadsPerRank = 2;
 constexpr int kSteps = 4;
 const std::vector<int> kRankCounts = {2, 4, 8};
 
-double run_once(const std::string& app_name, int nranks, std::size_t nz_global) {
+struct RunResult {
+  double makespan = 0.0;
+  double codec_seconds = 0.0;  ///< max per-rank time encoding/decoding maps
+  std::size_t wire_bytes = 0;  ///< total combination payload across ranks
+};
+
+RunResult run_once(const std::string& app_name, int nranks, std::size_t nz_global) {
+  RunResult result;
+  std::mutex mu;
   auto stats = simmpi::launch(nranks, [&](simmpi::Communicator& comm) {
     sim::Heat3D::Params p;
     p.nx = 32;
@@ -34,8 +44,13 @@ double run_once(const std::string& app_name, int nranks, std::size_t nz_global) 
       heat.step();
       app->run(heat.output(), heat.output_len());
     }
+    const RunStats& rs = app->stats();
+    std::lock_guard<std::mutex> lock(mu);
+    result.codec_seconds = std::max(result.codec_seconds, rs.codec_seconds);
+    result.wire_bytes += rs.wire_bytes;
   });
-  return stats.makespan();
+  result.makespan = stats.makespan();
+  return result;
 }
 
 }  // namespace
@@ -49,15 +64,16 @@ int main() {
           " steps, ranks {2,4,8} x " + std::to_string(kThreadsPerRank) +
           " threads, virtual makespan");
 
-  smart::Table table({"app", "ranks", "makespan_s", "speedup", "parallel_efficiency"});
+  smart::Table table({"app", "ranks", "makespan_s", "speedup", "parallel_efficiency",
+                      "codec_s", "wire_bytes"});
   double efficiency_sum = 0.0;
   int efficiency_count = 0;
   for (const auto& app : smart::bench::app_names()) {
     double base = 0.0;
     for (const int nranks : kRankCounts) {
-      const double makespan = run_once(app, nranks, nz_global);
-      if (nranks == kRankCounts.front()) base = makespan;
-      const double speedup = base / makespan * kRankCounts.front();
+      const RunResult r = run_once(app, nranks, nz_global);
+      if (nranks == kRankCounts.front()) base = r.makespan;
+      const double speedup = base / r.makespan * kRankCounts.front();
       const double efficiency = speedup / nranks;
       if (nranks != kRankCounts.front()) {
         efficiency_sum += efficiency;
@@ -66,9 +82,11 @@ int main() {
       table.begin_row();
       table.add(app);
       table.add(nranks);
-      table.add(makespan, 4);
+      table.add(r.makespan, 4);
       table.add(speedup, 2);
       table.add(efficiency, 2);
+      table.add(r.codec_seconds, 6);
+      table.add(r.wire_bytes);
     }
   }
   smart::bench::finish(table, "fig07", "in-situ processing times vs node count (Heat3D)");

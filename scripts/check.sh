@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the threading tests.
+#
+#   scripts/check.sh            # full check: build + ctest + TSan threading tests
+#   scripts/check.sh --no-tsan  # tier-1 only (what CI gates on)
+#
+# The TSan half rebuilds test_threading and test_space_sharing in a separate
+# build tree (build-tsan/) with -DSMART_SANITIZE=thread and runs them; the
+# runtime is thread-heavy (thread pool, circular buffer, simmpi mailboxes),
+# so data races are the bug class worth a dedicated pass.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "== tier-1: build =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== tsan: build test_threading + test_space_sharing =="
+  cmake -B "$repo/build-tsan" -S "$repo" -DSMART_SANITIZE=thread \
+    -DSMART_BUILD_BENCHES=OFF -DSMART_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "$repo/build-tsan" -j "$jobs" --target test_threading test_space_sharing
+
+  echo "== tsan: run =="
+  TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_threading"
+  TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_space_sharing"
+fi
+
+echo "== check.sh: all green =="

@@ -37,6 +37,7 @@ class KMeans : public Scheduler<T, T*> {
       throw std::invalid_argument("KMeans: chunk_size must equal dims");
     }
     if (k == 0 || dims == 0) throw std::invalid_argument("KMeans: k and dims must be positive");
+    this->require_full_chunks();  // a partial feature vector is malformed input
     register_red_objs();
   }
 

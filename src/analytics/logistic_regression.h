@@ -33,6 +33,7 @@ class LogisticRegression : public Scheduler<In, double> {
     if (args.chunk_size != dim + 1) {
       throw std::invalid_argument("LogisticRegression: chunk_size must be dim + 1");
     }
+    this->require_full_chunks();  // a partial (features, label) row is malformed input
     register_red_objs();
   }
 

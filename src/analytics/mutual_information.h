@@ -31,6 +31,7 @@ class MutualInformation : public Scheduler<In, double> {
     if (buckets_x <= 0 || buckets_y <= 0 || !(max > min)) {
       throw std::invalid_argument("MutualInformation: bad bucket configuration");
     }
+    this->require_full_chunks();  // an unpaired trailing x is malformed input
     register_red_objs();
   }
 

@@ -21,6 +21,14 @@ namespace smart {
 using Buffer = std::vector<std::byte>;
 
 /// Appends primitives, strings and trivially-copyable spans to a Buffer.
+///
+/// A Writer always *appends* to the Buffer it wraps — it never clears it.
+/// This is the buffer-reuse path for per-round wire traffic: callers that
+/// encode every combination round (e.g. core/map_combiner) keep one Buffer,
+/// `clear()` it (capacity survives) and construct a fresh Writer over it,
+/// so steady-state rounds serialize without reallocating.  It also lets a
+/// header and a payload be written back-to-back by different components
+/// (core/intransit prepends its kind byte before the map snapshot).
 class Writer {
  public:
   explicit Writer(Buffer& out) : out_(out) {}
@@ -33,6 +41,23 @@ class Writer {
     const auto* p = static_cast<const std::byte*>(data);
     out_.insert(out_.end(), p, p + n);
   }
+
+  /// Current end-of-buffer offset; pass to patch() to overwrite a
+  /// placeholder written earlier (e.g. a count known only after a scan).
+  std::size_t position() const { return out_.size(); }
+
+  /// Overwrites bytes previously written at `pos` (no growth).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void patch(std::size_t pos, const T& value) {
+    if (pos + sizeof(T) > out_.size()) {
+      throw std::out_of_range("smart::Writer: patch past end of buffer");
+    }
+    std::memcpy(out_.data() + pos, &value, sizeof(T));
+  }
+
+  /// Grows the wrapped buffer's capacity ahead of a burst of writes.
+  void reserve(std::size_t additional) { out_.reserve(out_.size() + additional); }
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>

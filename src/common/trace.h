@@ -73,11 +73,15 @@ class PhaseTracer {
     events_.clear();
   }
 
-  /// CSV: phase,thread,begin_s,end_s,duration_s.
+  /// CSV: phase,thread,begin_s,end_s,duration_s.  Phase names are quoted
+  /// per RFC 4180 when they contain a comma, quote, or newline (user code
+  /// picks the names, e.g. scope("step 3, flush")), so rows always parse
+  /// back into five fields.
   void dump_csv(std::ostream& os) const {
     os << "phase,thread,begin_s,end_s,duration_s\n";
     for (const auto& e : events()) {
-      os << e.phase << ',' << e.thread_id << ',' << e.begin_seconds << ',' << e.end_seconds
+      write_csv_field(os, e.phase);
+      os << ',' << e.thread_id << ',' << e.begin_seconds << ',' << e.end_seconds
          << ',' << e.duration() << '\n';
     }
   }
@@ -88,6 +92,19 @@ class PhaseTracer {
   }
 
  private:
+  static void write_csv_field(std::ostream& os, const std::string& field) {
+    if (field.find_first_of(",\"\r\n") == std::string::npos) {
+      os << field;
+      return;
+    }
+    os << '"';
+    for (const char c : field) {
+      if (c == '"') os << '"';  // RFC 4180: embedded quotes double up
+      os << c;
+    }
+    os << '"';
+  }
+
   std::size_t dense_thread_id_locked() {
     const auto me = std::this_thread::get_id();
     for (std::size_t i = 0; i < threads_.size(); ++i) {

@@ -98,8 +98,8 @@ void ship_local_result(simmpi::Communicator& comm, const Topology& topo,
   sched.run(data, len, nullptr, 0);
   Buffer buf;
   Writer(buf).write(detail::Kind::kSnapshot);
-  const Buffer snap = sched.snapshot();
-  buf.insert(buf.end(), snap.begin(), snap.end());
+  // Serialize straight after the kind byte — no intermediate snapshot copy.
+  sched.append_snapshot(buf);
   comm.send(topo.staging_of(comm.rank()), detail::kStreamTag, std::move(buf));
 }
 
@@ -141,8 +141,9 @@ std::size_t stage_all(simmpi::Communicator& comm, const Topology& topo,
         break;
       }
       case detail::Kind::kSnapshot: {
-        Buffer map(payload.begin() + 1, payload.end());
-        sched.absorb(map);
+        // The reader sits just past the kind byte: absorb entries straight
+        // from the wire payload into the live map (single-pass, no copy).
+        sched.absorb(r);
         ++processed;
         break;
       }

@@ -1,0 +1,157 @@
+#include "core/map_combiner.h"
+
+#include <utility>
+
+#include "common/timing.h"
+
+namespace smart {
+
+namespace {
+// Internal tag space, below the communicator's own collectives (-1000..)
+// and the ring allreduce (-8000..).
+constexpr int kTreeTag = -9000;
+constexpr int kRingReduceTag = -9200;
+constexpr int kRingGatherTag = -9400;
+}  // namespace
+
+MapCombineStats MapCombiner::allreduce(simmpi::Communicator& comm, CombinationMap& map,
+                                       const MergeFn& merge) {
+  MapCombineStats stats;
+  if (comm.size() <= 1) return stats;
+  const std::size_t sent_before = comm.bytes_sent();
+  if (choose_ring(comm, map)) {
+    ring_allreduce(comm, map, merge, stats);
+  } else {
+    tree_allreduce(comm, map, merge, stats);
+  }
+  stats.wire_bytes = comm.bytes_sent() - sent_before;
+  // Every rank now holds the identical global map, so this footprint is a
+  // consensus value for free — next round's algorithm choice needs no
+  // extra messages.
+  agreed_footprint_ = map_footprint_bytes(map);
+  have_agreed_footprint_ = true;
+  return stats;
+}
+
+bool MapCombiner::choose_ring(simmpi::Communicator& comm, const CombinationMap& map) {
+  switch (algorithm_) {
+    case Algorithm::kTree:
+      return false;
+    case Algorithm::kRing:
+      return true;
+    case Algorithm::kAuto:
+      break;
+  }
+  // The tree ties or wins at two ranks (same bytes, fewer messages) and
+  // keeps the legacy bit-exact merge schedule, so require a real ring.
+  if (comm.size() < 3) return false;
+  const auto estimate =
+      have_agreed_footprint_
+          ? agreed_footprint_
+          : static_cast<std::size_t>(comm.allreduce_max<std::uint64_t>(map_footprint_bytes(map)));
+  return estimate >= ring_crossover_bytes_;
+}
+
+void MapCombiner::tree_allreduce(simmpi::Communicator& comm, CombinationMap& map,
+                                 const MergeFn& merge, MapCombineStats& stats) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  // Binomial reduction to rank 0, mirroring Communicator::reduce's schedule
+  // so the merge order (and therefore every floating-point accumulation) is
+  // bit-identical to the Buffer-lambda path this replaces.  The difference:
+  // a receiving rank absorbs the child's payload straight into its live
+  // map, and only serializes once — when handing its merged map up.
+  for (int dist = 1; dist < n; dist <<= 1) {
+    if (rank % (2 * dist) == 0) {
+      if (rank + dist < n) {
+        const Buffer child = comm.recv(rank + dist, kTreeTag);
+        ThreadCpuTimer codec;
+        Reader r(child);
+        stats.map_merges += absorb_serialized_map(r, map, merge);
+        stats.codec_seconds += codec.seconds();
+      }
+    } else {
+      ThreadCpuTimer codec;
+      wire_.clear();
+      serialize_map(map, wire_);
+      stats.codec_seconds += codec.seconds();
+      ++stats.map_serializes;
+      stats.bytes_encoded += wire_.size();
+      comm.send(rank - dist, kTreeTag, std::move(wire_));
+      wire_ = Buffer{};
+      break;
+    }
+  }
+  // Broadcast the globally merged map.  The root's live map *is* the
+  // result — it serializes once for the wire and never deserializes; the
+  // broadcast buffer stays owned here, so its capacity is reused next
+  // round (bcast copies per child internally).
+  if (rank == 0) {
+    ThreadCpuTimer codec;
+    wire_.clear();
+    serialize_map(map, wire_);
+    stats.codec_seconds += codec.seconds();
+    ++stats.map_serializes;
+    stats.bytes_encoded += wire_.size();
+    comm.bcast(wire_, 0);
+  } else {
+    Buffer global;
+    comm.bcast(global, 0);
+    ThreadCpuTimer codec;
+    map = deserialize_map(global);
+    stats.codec_seconds += codec.seconds();
+    ++stats.map_deserializes;
+  }
+}
+
+void MapCombiner::ring_allreduce(simmpi::Communicator& comm, CombinationMap& map,
+                                 const MergeFn& merge, MapCombineStats& stats) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  const int right = (rank + 1) % n;
+  const int left = (rank - 1 + n) % n;
+  const auto mod = [n](int x) { return ((x % n) + n) % n; };
+  stats.used_ring = true;
+
+  // Reduce-scatter over key segments: at step s this rank ships its
+  // partially merged segment (rank - s) and folds the incoming segment
+  // (rank - s - 1) into its live map.  After n-1 steps segment (rank + 1)
+  // is globally complete here.  Note there is no full-map codec pass: each
+  // entry is serialized at most once per hop it travels, and the per-rank
+  // traffic is ~2·S·(n-1)/n bytes total regardless of rank count.
+  for (int step = 0; step < n - 1; ++step) {
+    ThreadCpuTimer encode;
+    wire_.clear();
+    serialize_map_segment(map, mod(rank - step), n, wire_);
+    stats.codec_seconds += encode.seconds();
+    stats.bytes_encoded += wire_.size();
+    comm.send(right, kRingReduceTag - step, std::move(wire_));
+    wire_ = Buffer{};
+    const Buffer incoming = comm.recv(left, kRingReduceTag - step);
+    ThreadCpuTimer decode;
+    Reader r(incoming);
+    stats.map_merges += absorb_serialized_map(r, map, merge);
+    stats.codec_seconds += decode.seconds();
+  }
+
+  // Allgather: circulate the finished segments.  Only the first payload is
+  // encoded; every later step forwards the received bytes verbatim.
+  // Incoming entries are the *final* global values for their keys, so they
+  // replace (not merge into) this rank's partial ones.
+  ThreadCpuTimer encode;
+  Buffer circulating;
+  serialize_map_segment(map, mod(rank + 1), n, circulating);
+  stats.codec_seconds += encode.seconds();
+  stats.bytes_encoded += circulating.size();
+  for (int step = 0; step < n - 1; ++step) {
+    comm.send(right, kRingGatherTag - step, std::move(circulating));
+    Buffer incoming = comm.recv(left, kRingGatherTag - step);
+    ThreadCpuTimer decode;
+    Reader r(incoming);
+    stats.map_merges += absorb_serialized_map(r, map, merge, /*replace_existing=*/true);
+    stats.codec_seconds += decode.seconds();
+    circulating = std::move(incoming);
+  }
+}
+
+}  // namespace smart

@@ -1,0 +1,94 @@
+// MapCombiner: single-pass global combination of CombinationMaps over a
+// simmpi communicator (paper Algorithm 1, lines 11-17).
+//
+// The naive implementation passes a Buffer×Buffer→Buffer lambda to
+// Communicator::allreduce, which pays deserialize_map + merge +
+// serialize_map at *every* hop of the binomial reduction tree — O(log n)
+// redundant codec passes per rank per round.  MapCombiner instead keeps the
+// merged state as a live CombinationMap at interior tree nodes and only
+// touches serialized Buffers at rank boundaries:
+//
+//   * tree (latency-optimal, the default): a rank absorbs each child's wire
+//     payload directly into its live map (absorb_serialized_map — no
+//     intermediate map, no re-serialize), serializes its merged map exactly
+//     once when it hands the result up (or, at the root, for the
+//     broadcast), and deserializes exactly once when the broadcast result
+//     arrives (the root not at all).  Per rank per round: ≤1 serialize_map,
+//     ≤1 deserialize_map, and the merge schedule is bit-identical to the
+//     Buffer-lambda path.
+//   * ring (bandwidth-optimal): keys are partitioned into `size()` segments
+//     by floor-modulo; a reduce-scatter leaves each rank with one globally
+//     merged segment, then an allgather circulates the finished segments —
+//     forwarding the received bytes verbatim, with no re-encode.  Each rank
+//     ships ~2·S/n·(n-1) bytes regardless of depth (vs the tree's root
+//     shipping S·log n), mirroring allreduce_sum_ring.  Codec work is per
+//     segment, so the full-map codec counters stay at zero; the cost is
+//     visible in codec_seconds / wire_bytes.
+//   * auto: ring for large maps, tree for small ones.  The crossover is
+//     measured by bench/micro_core_ops (BM_MapCombineAlgorithms); because
+//     every rank must pick the same algorithm, the decision uses the
+//     previous round's *global* map footprint (identical on all ranks once
+//     a round has completed) and, on the very first round, a scalar
+//     allreduce_max consensus over the local footprints.
+//
+// One MapCombiner lives per scheduler so its wire buffer's capacity and the
+// agreed size estimate persist across rounds (the Writer append-into-
+// existing-Buffer reuse path; see common/serialize.h).
+#pragma once
+
+#include <cstddef>
+
+#include "common/serialize.h"
+#include "core/red_obj.h"
+#include "simmpi/communicator.h"
+
+namespace smart {
+
+/// Per-call accounting, folded into RunStats by the scheduler.
+struct MapCombineStats {
+  std::size_t map_serializes = 0;    ///< full-map serialize_map passes (tree: ≤1)
+  std::size_t map_deserializes = 0;  ///< full-map deserialize_map passes (tree: ≤1)
+  std::size_t map_merges = 0;        ///< peer entries absorbed into the live map
+  std::size_t bytes_encoded = 0;     ///< serialized bytes this rank produced
+  std::size_t wire_bytes = 0;        ///< payload bytes this rank shipped
+  double codec_seconds = 0.0;        ///< time in serialize/deserialize/absorb
+  bool used_ring = false;
+};
+
+class MapCombiner {
+ public:
+  enum class Algorithm { kAuto, kTree, kRing };
+
+  /// Auto crossover: serialized maps estimated larger than this go over the
+  /// ring.  Default from bench/micro_core_ops BM_MapCombineAlgorithms on
+  /// the container (tree wins below ~64 KiB where latency dominates).
+  static constexpr std::size_t kDefaultRingCrossoverBytes = 64 * 1024;
+
+  explicit MapCombiner(Algorithm algorithm = Algorithm::kAuto,
+                       std::size_t ring_crossover_bytes = kDefaultRingCrossoverBytes)
+      : algorithm_(algorithm), ring_crossover_bytes_(ring_crossover_bytes) {}
+
+  Algorithm algorithm() const { return algorithm_; }
+  void set_algorithm(Algorithm algorithm) { algorithm_ = algorithm; }
+
+  /// In-place allreduce of `map` across `comm` using the app's merge().
+  /// Collective: every rank of `comm` must call it with the same algorithm
+  /// configuration.  On return every rank holds the identical global map.
+  MapCombineStats allreduce(simmpi::Communicator& comm, CombinationMap& map,
+                            const MergeFn& merge);
+
+ private:
+  bool choose_ring(simmpi::Communicator& comm, const CombinationMap& map);
+  void tree_allreduce(simmpi::Communicator& comm, CombinationMap& map, const MergeFn& merge,
+                      MapCombineStats& stats);
+  void ring_allreduce(simmpi::Communicator& comm, CombinationMap& map, const MergeFn& merge,
+                      MapCombineStats& stats);
+
+  Algorithm algorithm_;
+  std::size_t ring_crossover_bytes_;
+  Buffer wire_;  ///< reused encode buffer (capacity persists when not shipped)
+  std::size_t agreed_footprint_ = 0;  ///< global map footprint after the last round
+  bool have_agreed_footprint_ = false;
+};
+
+}  // namespace smart

@@ -65,6 +65,56 @@ void merge_map_into(CombinationMap&& src, CombinationMap& dst, const MergeFn& me
   src.clear();
 }
 
+std::size_t absorb_serialized_map(Reader& r, CombinationMap& dst, const MergeFn& merge,
+                                  bool replace_existing) {
+  const auto n = r.read<std::uint64_t>();
+  auto& registry = RedObjRegistry::instance();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto key = r.read<std::int32_t>();
+    const std::string type = r.read_string();
+    const auto it = dst.find(key);
+    if (it == dst.end() || replace_existing) {
+      std::unique_ptr<RedObj> obj = registry.create(type);
+      obj->deserialize(r);
+      obj->set_key(key);
+      if (it == dst.end()) {
+        dst.emplace_hint(it, key, std::move(obj));
+      } else {
+        it->second = std::move(obj);
+      }
+    } else {
+      // Decode into a scratch object and merge into the live entry.
+      std::unique_ptr<RedObj> scratch = registry.create(type);
+      scratch->deserialize(r);
+      scratch->set_key(key);
+      merge(*scratch, it->second);
+    }
+  }
+  return n;
+}
+
+int map_segment_of(int key, int nsegments) {
+  const int m = key % nsegments;
+  return m < 0 ? m + nsegments : m;
+}
+
+std::size_t serialize_map_segment(const CombinationMap& map, int segment, int nsegments,
+                                  Buffer& out) {
+  Writer w(out);
+  const std::size_t count_pos = w.position();
+  w.write<std::uint64_t>(0);  // patched below
+  std::uint64_t count = 0;
+  for (const auto& [key, obj] : map) {
+    if (map_segment_of(key, nsegments) != segment) continue;
+    w.write<std::int32_t>(key);
+    w.write_string(obj->type_name());
+    obj->serialize(w);
+    ++count;
+  }
+  w.patch(count_pos, count);
+  return count;
+}
+
 std::size_t map_footprint_bytes(const CombinationMap& map) {
   std::size_t total = 0;
   for (const auto& [key, obj] : map) total += obj->footprint_bytes();

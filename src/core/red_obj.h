@@ -101,6 +101,32 @@ inline CombinationMap deserialize_map(const Buffer& buf) {
 using MergeFn = std::function<void(const RedObj&, std::unique_ptr<RedObj>&)>;
 void merge_map_into(CombinationMap&& src, CombinationMap& dst, const MergeFn& merge);
 
+/// Single-pass absorb: streams serialized map entries from `r` straight
+/// into `dst` without materializing an intermediate CombinationMap —
+/// existing keys are merged (or replaced when `replace_existing`), new keys
+/// are inserted.  This is the deserialize-once half of global combination:
+/// a rank folds a peer's wire payload into its *live* map instead of
+/// paying deserialize_map + merge + serialize_map per reduction-tree hop.
+/// Returns the number of entries absorbed.
+std::size_t absorb_serialized_map(Reader& r, CombinationMap& dst, const MergeFn& merge,
+                                  bool replace_existing = false);
+inline std::size_t absorb_serialized_map(const Buffer& buf, CombinationMap& dst,
+                                         const MergeFn& merge, bool replace_existing = false) {
+  Reader r(buf);
+  return absorb_serialized_map(r, dst, merge, replace_existing);
+}
+
+/// Key-space partition used by the ring map-combination: segment of `key`
+/// among `nsegments` (floor modulo, so negative keys partition too).
+int map_segment_of(int key, int nsegments);
+
+/// Serializes only the entries of `map` whose map_segment_of(key) equals
+/// `segment`, in key order, using the same wire format as serialize_map
+/// (appends to `out`; the entry count is patched in after the scan).
+/// Returns the number of entries written.
+std::size_t serialize_map_segment(const CombinationMap& map, int segment, int nsegments,
+                                  Buffer& out);
+
 /// Total approximate footprint of a map's objects.
 std::size_t map_footprint_bytes(const CombinationMap& map);
 

@@ -21,8 +21,20 @@ struct RunStats {
   std::size_t early_emissions = 0;  ///< objects emitted by trigger()
 
   // Combination accounting.
-  std::size_t bytes_serialized = 0;      ///< global-combination wire traffic (this rank)
+  std::size_t bytes_serialized = 0;      ///< bytes this rank encoded for global combination
   std::size_t global_combinations = 0;   ///< cross-rank combination rounds executed
+
+  // Codec accounting for the single-pass global combination: a rank must
+  // pay at most one full-map serialize and one full-map deserialize per
+  // round; everything else streams into the live map (map_merges counts
+  // the peer entries absorbed).  The ring algorithm codecs per key segment
+  // and therefore performs *zero* full-map passes — its codec cost shows
+  // up in codec_seconds and wire_bytes instead.
+  std::size_t map_serializes = 0;    ///< full-map serialize_map passes
+  std::size_t map_deserializes = 0;  ///< full-map deserialize_map passes
+  std::size_t map_merges = 0;        ///< peer entries merged into the live map
+  std::size_t wire_bytes = 0;        ///< payload bytes this rank shipped during combination
+  double codec_seconds = 0.0;        ///< time spent encoding/decoding combination maps
 
   // Phase times, CPU-measured on the owning rank thread / workers.
   double reduction_seconds = 0.0;     ///< critical path (max worker busy) summed over iterations

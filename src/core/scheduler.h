@@ -8,14 +8,27 @@
 // Execution of one run() call (Algorithm 1):
 //   1. combination map is (re)seeded by process_extra_data;
 //   2. per iteration: the seeded map is *distributed* — cloned into each
-//      worker's reduction map — then every worker walks its split of the
-//      block chunk by chunk: gen_key(s) -> accumulate in place on the keyed
-//      reduction object.  No key-value pair is emitted, so there is no
-//      shuffle and the mapping phase needs no extra memory;
+//      worker's reduction map (skipped outright when the map is empty) —
+//      then every worker walks its split of the block chunk by chunk:
+//      gen_key(s) -> accumulate in place on the keyed reduction object.
+//      No key-value pair is emitted, so there is no shuffle and the
+//      mapping phase needs no extra memory.  The trailing in_len %
+//      chunk_size elements are processed as a short final chunk (its
+//      Chunk::length carries the true count) unless RunOptions::
+//      process_tail is off or the app declared require_full_chunks();
 //   3. local combination merges worker maps (merge); global combination
-//      serializes the rank map and merges across ranks over simmpi,
-//      broadcasting the global map back (so iterative apps see global
-//      state); post_combine updates objects (e.g. centroid = sum/size);
+//      merges rank maps across simmpi via core/map_combiner: each rank
+//      serializes its map at most once and deserializes the global result
+//      at most once per round — interior reduction-tree nodes absorb peer
+//      payloads straight into their live map (absorb_serialized_map)
+//      instead of paying a deserialize+merge+serialize round-trip per hop.
+//      Large maps automatically switch to a key-partitioned ring
+//      (reduce-scatter + allgather over key segments, crossover measured
+//      in bench/micro_core_ops); every rank ends the round holding the
+//      identical global map, so iterative apps see global state.
+//      RunStats::{map_serializes, map_deserializes, map_merges,
+//      codec_seconds, wire_bytes} expose the single-pass invariant;
+//      post_combine then updates objects (e.g. centroid = sum/size);
 //   4. surviving reduction objects are convert()ed into the output array.
 //
 // Early emission (Algorithm 2): right after accumulate, RedObj::trigger()
@@ -50,6 +63,7 @@
 #include "common/memory_tracker.h"
 #include "common/timing.h"
 #include "core/chunk.h"
+#include "core/map_combiner.h"
 #include "core/red_obj.h"
 #include "core/run_stats.h"
 #include "core/sched_args.h"
@@ -72,7 +86,8 @@ class Scheduler {
       : args_(args),
         opts_(opts),
         pool_(std::make_unique<ThreadPool>(args.num_threads, opts.pin_threads)),
-        reduction_maps_(static_cast<std::size_t>(args.num_threads)) {
+        reduction_maps_(static_cast<std::size_t>(args.num_threads)),
+        feed_buffer_(std::make_unique<CircularBuffer<FeedCell>>(opts.buffer_cells)) {
     if (args.chunk_size == 0) {
       throw std::invalid_argument("Scheduler: chunk_size must be positive");
     }
@@ -91,6 +106,13 @@ class Scheduler {
   /// (window-based preprocessing, MapReduce pipelines — paper Section 3.1).
   void set_global_combination(bool flag) { global_combination_ = flag; }
   bool global_combination() const { return global_combination_; }
+
+  /// Picks the cross-rank combination algorithm (tree, ring, or size-based
+  /// auto selection — the default).  See core/map_combiner.h.
+  void set_combination_algorithm(MapCombiner::Algorithm algorithm) {
+    map_combiner_.set_algorithm(algorithm);
+  }
+  MapCombiner::Algorithm combination_algorithm() const { return map_combiner_.algorithm(); }
 
   const CombinationMap& get_combination_map() const { return combination_map_; }
 
@@ -138,14 +160,27 @@ class Scheduler {
   /// hybrid modes; see core/intransit.h).
   Buffer snapshot() const {
     Buffer buf;
-    serialize_map(combination_map_, buf);
+    append_snapshot(buf);
     return buf;
   }
+
+  /// Appends the serialized combination map to `out` — the buffer-reuse
+  /// path for callers that snapshot every step (clear the buffer, keep its
+  /// capacity) or prepend their own header (core/intransit).
+  void append_snapshot(Buffer& out) const { serialize_map(combination_map_, out); }
 
   /// Merges a serialized combination map (a peer's snapshot) into this
   /// scheduler's map using the app's merge().
   void absorb(const Buffer& serialized_map) {
-    merge_map_into(deserialize_map(serialized_map), combination_map_, merge_fn());
+    Reader r(serialized_map);
+    absorb(r);
+  }
+
+  /// Single-pass absorb from a positioned Reader: peer entries stream
+  /// straight into the live map, with no intermediate CombinationMap (used
+  /// by intransit staging ranks draining snapshot payloads in place).
+  void absorb(Reader& r) {
+    stats_.map_merges += absorb_serialized_map(r, combination_map_, merge_fn());
     sync_tracked_objects();
   }
 
@@ -211,18 +246,22 @@ class Scheduler {
 
   const void* extra_data() const { return args_.extra_data; }
 
+  /// Apps whose chunk is a fixed-width record (k-means feature vectors,
+  /// logistic-regression rows) call this in their constructor: a partial
+  /// tail record is malformed input, so tail processing is forced off and
+  /// ragged trailing elements stay in RunStats::elements_skipped.
+  void require_full_chunks() { opts_.process_tail = false; }
+
  private:
   struct FeedCell {
     std::vector<In> data;
     std::unique_ptr<ScopedMemCharge> charge;
   };
 
-  CircularBuffer<FeedCell>& feed_buffer() {
-    if (!feed_buffer_) {
-      feed_buffer_ = std::make_unique<CircularBuffer<FeedCell>>(opts_.buffer_cells);
-    }
-    return *feed_buffer_;
-  }
+  // Constructed eagerly in the constructor: feed() (producer task) and
+  // run() (analytics task) race in space-sharing mode, so lazy first-use
+  // creation would be a data race on the pointer itself.
+  CircularBuffer<FeedCell>& feed_buffer() { return *feed_buffer_; }
 
   bool run_fed(Out* out, std::size_t out_len, bool multi_key) {
     auto cell = feed_buffer().pop();
@@ -274,7 +313,11 @@ class Scheduler {
 
     total_len_ = in_len;
     const std::size_t num_chunks = in_len / args_.chunk_size;
-    stats_.elements_skipped += in_len - num_chunks * args_.chunk_size;
+    const std::size_t tail = in_len - num_chunks * args_.chunk_size;
+    // Ragged tail: processed as a short final chunk (Chunk::length tells
+    // the app how much is real) unless the option is off.
+    const std::size_t tail_len = opts_.process_tail ? tail : 0;
+    if (tail_len == 0) stats_.elements_skipped += tail;
 
     // A run() analyzes one time-step independently (Listing 1 constructs
     // the scheduler per step); cross-step accumulation is explicit.
@@ -288,7 +331,7 @@ class Scheduler {
 
     for (int iter = 0; iter < args_.num_iters; ++iter) {
       distribute_combination_map();
-      reduction_phase(data, num_chunks, out, out_len, multi_key);
+      reduction_phase(data, num_chunks, tail_len, out, out_len, multi_key);
       local_combination();
       if (global_combination_ && comm != nullptr && comm->size() > 1) {
         global_combination(*comm);
@@ -320,8 +363,10 @@ class Scheduler {
   /// map into every worker's reduction map so accumulate/merge see the
   /// iterative context.  The map itself stays in place as the read-only
   /// com_map argument to gen_key(s); local combination rebuilds it from the
-  /// worker maps (every seeded entry survives via its clones).
+  /// worker maps (every seeded entry survives via its clones).  Non-seeded
+  /// apps (empty map at this point) skip the per-worker pass entirely.
   void distribute_combination_map() {
+    if (combination_map_.empty()) return;  // worker maps are already clear
     for (auto& rmap : reduction_maps_) {
       rmap.clear();
       for (const auto& [key, obj] : combination_map_) {
@@ -332,20 +377,24 @@ class Scheduler {
     }
   }
 
-  void reduction_phase(const In* data, std::size_t num_chunks, Out* out, std::size_t out_len,
-                       bool multi_key) {
+  /// Walks num_chunks full chunks plus, when tail_len > 0, one short final
+  /// chunk of tail_len elements at offset num_chunks * chunk_size.
+  void reduction_phase(const In* data, std::size_t num_chunks, std::size_t tail_len, Out* out,
+                       std::size_t out_len, bool multi_key) {
+    const std::size_t num_units = num_chunks + (tail_len > 0 ? 1 : 0);
     const auto workers = static_cast<std::size_t>(args_.num_threads);
-    const std::size_t base = num_chunks / workers;
-    const std::size_t extra = num_chunks % workers;
+    const std::size_t base = num_units / workers;
+    const std::size_t extra = num_units % workers;
     // Dynamic mode: workers pull batches of this many chunks from a shared
     // counter (8 batches per worker keeps the tail short without turning
     // the counter into a hot spot).
-    const std::size_t grain = std::max<std::size_t>(1, num_chunks / (workers * 8));
+    const std::size_t grain = std::max<std::size_t>(1, num_units / (workers * 8));
     std::atomic<std::size_t> next_chunk{0};
 
     std::vector<std::size_t> peak_objs(workers, 0);
     std::vector<std::size_t> emitted(workers, 0);
     std::vector<std::size_t> chunks_done(workers, 0);
+    std::vector<std::size_t> elems_done(workers, 0);
 
     const std::vector<double> busy = pool_->parallel_region([&](int w) {
       const auto uw = static_cast<std::size_t>(w);
@@ -384,7 +433,10 @@ class Scheduler {
       };
       auto process_range = [&](std::size_t begin, std::size_t end) {
         for (std::size_t c = begin; c < end; ++c) {
-          const Chunk chunk{c * args_.chunk_size, args_.chunk_size};
+          // The last unit may be the ragged tail; Chunk::length carries its
+          // true element count so apps clip their loops to it.
+          const std::size_t len = c < num_chunks ? args_.chunk_size : tail_len;
+          const Chunk chunk{c * args_.chunk_size, len};
           if (multi_key) {
             keys.clear();
             gen_keys(chunk, data, keys, combination_map_);
@@ -392,6 +444,7 @@ class Scheduler {
           } else {
             process_key(chunk, gen_key(chunk, data, combination_map_));
           }
+          elems_done[uw] += len;
           if (rmap.size() > peak) peak = rmap.size();
         }
         chunks_done[uw] += end - begin;
@@ -399,8 +452,8 @@ class Scheduler {
       if (opts_.dynamic_chunking) {
         for (;;) {
           const std::size_t begin = next_chunk.fetch_add(grain, std::memory_order_relaxed);
-          if (begin >= num_chunks) break;
-          process_range(begin, std::min(begin + grain, num_chunks));
+          if (begin >= num_units) break;
+          process_range(begin, std::min(begin + grain, num_units));
         }
       } else {
         // Contiguous split of chunks for this worker (the paper's equal
@@ -423,7 +476,7 @@ class Scheduler {
       peak_total += peak_objs[w];
       stats_.early_emissions += emitted[w];
       stats_.chunks_processed += chunks_done[w];
-      stats_.elements_processed += chunks_done[w] * args_.chunk_size;
+      stats_.elements_processed += elems_done[w];
     }
     if (peak_total > stats_.peak_reduction_objects) {
       stats_.peak_reduction_objects = peak_total;
@@ -444,26 +497,21 @@ class Scheduler {
     stats_.combination_seconds += timer.seconds();
   }
 
-  /// Algorithm 1 lines 11-17, global half: rank maps are serialized,
-  /// merged pairwise over a reduction tree, and the global map replaces
-  /// every rank's local map (so the next iteration and get_combination_map
-  /// see the global result).
+  /// Algorithm 1 lines 11-17, global half: rank maps merge across simmpi
+  /// via MapCombiner (single-pass tree or key-partitioned ring; see
+  /// core/map_combiner.h) and the global map replaces every rank's local
+  /// map, so the next iteration and get_combination_map see the global
+  /// result.
   void global_combination(simmpi::Communicator& comm) {
     WallTimer wall;
-    Buffer local;
-    serialize_map(combination_map_, local);
-    stats_.bytes_serialized += local.size();
     ++stats_.global_combinations;
-    const MergeFn merge_cb = merge_fn();
-    Buffer global = comm.allreduce(std::move(local), [&](const Buffer& a, const Buffer& b) {
-      CombinationMap ma = deserialize_map(a);
-      CombinationMap mb = deserialize_map(b);
-      merge_map_into(std::move(mb), ma, merge_cb);
-      Buffer merged;
-      serialize_map(ma, merged);
-      return merged;
-    });
-    combination_map_ = deserialize_map(global);
+    const MapCombineStats cs = map_combiner_.allreduce(comm, combination_map_, merge_fn());
+    stats_.bytes_serialized += cs.bytes_encoded;
+    stats_.wire_bytes += cs.wire_bytes;
+    stats_.map_serializes += cs.map_serializes;
+    stats_.map_deserializes += cs.map_deserializes;
+    stats_.map_merges += cs.map_merges;
+    stats_.codec_seconds += cs.codec_seconds;
     stats_.global_seconds += wall.seconds();
   }
 
@@ -473,6 +521,7 @@ class Scheduler {
   std::vector<CombinationMap> reduction_maps_;
   CombinationMap combination_map_;
   CombinationMap carry_map_;
+  MapCombiner map_combiner_;
   bool global_combination_ = true;
   std::size_t total_len_ = 0;
   std::size_t tracked_red_bytes_ = 0;

@@ -18,6 +18,7 @@
 // share the owning rank's clock (they are views over the same thread).
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -138,6 +139,25 @@ class Communicator {
   /// large payloads (see micro_core_ops for the crossover).
   template <typename T>
   std::vector<T> allreduce_sum_ring(const std::vector<T>& local);
+
+  /// Scalar max allreduce — the cheap consensus primitive (8-byte
+  /// payloads) collective algorithm selection is built on: every rank gets
+  /// max over ranks of `local`, so size-dependent decisions (e.g. tree vs
+  /// ring map combination) come out identical everywhere.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T> && std::totally_ordered<T>
+  T allreduce_max(T local) {
+    Buffer mine;
+    Writer(mine).write(local);
+    Buffer out = allreduce(std::move(mine), [](const Buffer& a, const Buffer& b) {
+      const T va = Reader(a).read<T>();
+      const T vb = Reader(b).read<T>();
+      Buffer merged;
+      Writer(merged).write(va < vb ? vb : va);
+      return merged;
+    });
+    return Reader(out).read<T>();
+  }
 
   /// MPI_Comm_split: collective over this communicator.  Ranks with the
   /// same color land in one sub-communicator, ordered by (key, rank).

@@ -174,6 +174,222 @@ TEST_P(DistributedRanks, UnevenPartitionsStillExact) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, DistributedRanks, ::testing::Values(1, 2, 3, 4, 6));
 
+// --- single-pass global combination ----------------------------------------
+//
+// The rework replaced the Buffer-lambda allreduce (deserialize + merge +
+// serialize at every tree hop) with MapCombiner.  These tests pin down the
+// two promises: (1) the codec invariant — at most one full-map serialize
+// and one full-map deserialize per rank per combination round; (2) results
+// identical to the legacy path, bit-exact for the default tree algorithm.
+
+/// Exposes the protected merge() so tests can drive combination algorithms
+/// directly over an app's reduction objects.
+template <class App>
+struct ExposeMerge : App {
+  using App::App;
+  MergeFn exposed_merge() {
+    return [this](const RedObj& red, std::unique_ptr<RedObj>& com) { this->merge(red, com); };
+  }
+};
+
+/// The pre-rework global combination, verbatim: a Buffer-level allreduce
+/// whose combiner pays a full deserialize/merge/serialize at every hop.
+Buffer legacy_allreduce(simmpi::Communicator& comm, Buffer local, const MergeFn& merge) {
+  return comm.allreduce(std::move(local), [&](const Buffer& a, const Buffer& b) {
+    CombinationMap ma = deserialize_map(a);
+    CombinationMap mb = deserialize_map(b);
+    merge_map_into(std::move(mb), ma, merge);
+    Buffer merged;
+    serialize_map(ma, merged);
+    return merged;
+  });
+}
+
+std::vector<int> map_keys(const CombinationMap& map) {
+  std::vector<int> keys;
+  for (const auto& [key, obj] : map) keys.push_back(key);
+  return keys;
+}
+
+/// Runs `app` on this rank's partition with global combination off, then
+/// combines the per-rank snapshots three ways — legacy Buffer-lambda, new
+/// tree, new ring — and cross-checks.  The tree must be bit-exact against
+/// legacy (same binomial schedule, same merge order); the ring merges in a
+/// different deterministic order, so it is byte-compared only when the
+/// app's merge is exact (integer accumulators), and key-compared otherwise.
+template <class App>
+void check_combination_equivalence(simmpi::Communicator& comm, ExposeMerge<App>& app,
+                                   const std::vector<double>& data, std::size_t align,
+                                   bool multi_key, bool exact_merge) {
+  app.set_global_combination(false);
+  const auto [offset, len] = partition(data.size(), comm.size(), comm.rank(), align);
+  if (multi_key) {
+    app.run2(data.data() + offset, len, nullptr, 0);
+  } else {
+    app.run(data.data() + offset, len, nullptr, 0);
+  }
+  const Buffer local = app.snapshot();
+  const MergeFn merge = app.exposed_merge();
+
+  const Buffer legacy = legacy_allreduce(comm, Buffer(local), merge);
+
+  CombinationMap tree_map = deserialize_map(local);
+  MapCombiner tree(MapCombiner::Algorithm::kTree);
+  const MapCombineStats ts = tree.allreduce(comm, tree_map, merge);
+  Buffer tree_bytes;
+  serialize_map(tree_map, tree_bytes);
+  EXPECT_EQ(tree_bytes, legacy) << "tree result differs from legacy on rank " << comm.rank();
+  EXPECT_LE(ts.map_serializes, 1u);
+  EXPECT_LE(ts.map_deserializes, 1u);
+  EXPECT_FALSE(ts.used_ring);
+
+  CombinationMap ring_map = deserialize_map(local);
+  MapCombiner ring(MapCombiner::Algorithm::kRing);
+  const MapCombineStats rs = ring.allreduce(comm, ring_map, merge);
+  EXPECT_EQ(map_keys(ring_map), map_keys(deserialize_map(legacy)))
+      << "ring key set differs on rank " << comm.rank();
+  if (exact_merge) {
+    Buffer ring_bytes;
+    serialize_map(ring_map, ring_bytes);
+    EXPECT_EQ(ring_bytes, legacy) << "ring result differs from legacy on rank " << comm.rank();
+  }
+  if (comm.size() > 1) {
+    EXPECT_EQ(rs.used_ring, comm.size() > 1);
+    // The ring never codecs the whole map in one pass.
+    EXPECT_EQ(rs.map_serializes, 0u);
+    EXPECT_EQ(rs.map_deserializes, 0u);
+  }
+}
+
+TEST_P(DistributedRanks, CombinationEquivalenceHistogram) {
+  const auto data = uniform_data(5000, 71);
+  simmpi::launch(GetParam(), [&](simmpi::Communicator& comm) {
+    ExposeMerge<Histogram<double>> app(SchedArgs(2, 1), 0.0, 100.0, 24);
+    check_combination_equivalence(comm, app, data, 1, /*multi_key=*/false, /*exact=*/true);
+  });
+}
+
+TEST_P(DistributedRanks, CombinationEquivalenceKMeans) {
+  const std::size_t dims = 4, k = 8;
+  const auto data = uniform_data(2000 * dims, 72);
+  std::vector<double> init(k * dims);
+  for (std::size_t i = 0; i < init.size(); ++i) init[i] = static_cast<double>((i * 41) % 100);
+  simmpi::launch(GetParam(), [&](simmpi::Communicator& comm) {
+    KMeansInit seed{init.data(), k, dims};
+    ExposeMerge<KMeans<double>> app(SchedArgs(2, dims, &seed), k, dims);
+    check_combination_equivalence(comm, app, data, dims, /*multi_key=*/false, /*exact=*/false);
+  });
+}
+
+TEST_P(DistributedRanks, CombinationEquivalenceLogisticRegression) {
+  const std::size_t dim = 6;
+  const auto data = uniform_data(1200 * (dim + 1), 73);
+  simmpi::launch(GetParam(), [&](simmpi::Communicator& comm) {
+    ExposeMerge<LogisticRegression<double>> app(SchedArgs(2, dim + 1), dim, 0.3);
+    check_combination_equivalence(comm, app, data, dim + 1, /*multi_key=*/false, /*exact=*/false);
+  });
+}
+
+TEST_P(DistributedRanks, CombinationEquivalenceMutualInformation) {
+  const auto data = uniform_data(4000, 74);
+  simmpi::launch(GetParam(), [&](simmpi::Communicator& comm) {
+    ExposeMerge<MutualInformation<double>> app(SchedArgs(2, 2), 0.0, 100.0, 12, 12);
+    check_combination_equivalence(comm, app, data, 2, /*multi_key=*/false, /*exact=*/true);
+  });
+}
+
+TEST_P(DistributedRanks, CombinationEquivalenceMovingAverage) {
+  const auto data = uniform_data(1500, 75);
+  simmpi::launch(GetParam(), [&](simmpi::Communicator& comm) {
+    // Early emission off so the combination map is non-trivial.
+    RunOptions opts;
+    opts.enable_trigger = false;
+    ExposeMerge<MovingAverage<double>> app(SchedArgs(2, 1), 5, opts);
+    check_combination_equivalence(comm, app, data, 1, /*multi_key=*/true, /*exact=*/false);
+  });
+}
+
+TEST_P(DistributedRanks, SinglePassCodecInvariant) {
+  const int nranks = GetParam();
+  const auto data = uniform_data(6000, 76);
+  simmpi::launch(nranks, [&](simmpi::Communicator& comm) {
+    const auto [offset, len] = partition(data.size(), comm.size(), comm.rank(), 1);
+    Histogram<double> hist(SchedArgs(2, 1), 0.0, 100.0, 32);
+    hist.run(data.data() + offset, len, nullptr, 0);
+    const RunStats& s = hist.stats();
+    if (comm.size() > 1) {
+      EXPECT_EQ(s.global_combinations, 1u);
+      // The tentpole invariant: at most one full-map codec pass per round.
+      EXPECT_LE(s.map_serializes, s.global_combinations);
+      EXPECT_LE(s.map_deserializes, s.global_combinations);
+      // Interior tree nodes absorb peer entries; leaves only send.
+      if (comm.rank() == 0) EXPECT_GT(s.map_merges, 0u);
+      EXPECT_GT(s.wire_bytes, 0u);
+    } else {
+      EXPECT_EQ(s.map_serializes, 0u);
+      EXPECT_EQ(s.map_deserializes, 0u);
+      EXPECT_EQ(s.wire_bytes, 0u);
+    }
+  });
+}
+
+TEST_P(DistributedRanks, SinglePassCodecInvariantIterative) {
+  const int nranks = GetParam();
+  const std::size_t dims = 4, k = 8, n = 1000;
+  const int iters = 10;
+  const auto data = uniform_data(n * dims, 77);
+  std::vector<double> init(k * dims);
+  for (std::size_t i = 0; i < init.size(); ++i) init[i] = static_cast<double>((i * 37) % 100);
+  simmpi::launch(nranks, [&](simmpi::Communicator& comm) {
+    const auto [offset, len] = partition(data.size(), comm.size(), comm.rank(), dims);
+    KMeansInit seed{init.data(), k, dims};
+    KMeans<double> km(SchedArgs(2, dims, &seed, iters), k, dims);
+    km.run(data.data() + offset, len, nullptr, 0);
+    const RunStats& s = km.stats();
+    if (comm.size() > 1) {
+      EXPECT_EQ(s.global_combinations, static_cast<std::size_t>(iters));
+      EXPECT_LE(s.map_serializes, s.global_combinations);
+      EXPECT_LE(s.map_deserializes, s.global_combinations);
+    }
+  });
+}
+
+TEST_P(DistributedRanks, RingForcedKMeansMatchesReference) {
+  const int nranks = GetParam();
+  const std::size_t dims = 4, k = 8, n = 3000;
+  const int iters = 10;
+  const auto data = uniform_data(n * dims, 62);
+  std::vector<double> init(k * dims);
+  for (std::size_t i = 0; i < init.size(); ++i) init[i] = static_cast<double>((i * 37) % 100);
+  const auto expected = ref::kmeans(data.data(), n, dims, k, iters, init);
+
+  simmpi::launch(nranks, [&](simmpi::Communicator& comm) {
+    const auto [offset, len] = partition(data.size(), comm.size(), comm.rank(), dims);
+    KMeansInit seed{init.data(), k, dims};
+    KMeans<double> km(SchedArgs(2, dims, &seed, iters), k, dims);
+    km.set_combination_algorithm(MapCombiner::Algorithm::kRing);
+    km.run(data.data() + offset, len, nullptr, 0);
+    const auto got = km.centroids();
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], expected[i], 1e-8) << "rank " << comm.rank() << " i=" << i;
+    }
+  });
+}
+
+TEST_P(DistributedRanks, RingForcedHistogramExact) {
+  const int nranks = GetParam();
+  const auto data = uniform_data(9000, 78);
+  const auto expected = ref::histogram(data.data(), data.size(), 0.0, 100.0, 32);
+  simmpi::launch(nranks, [&](simmpi::Communicator& comm) {
+    const auto [offset, len] = partition(data.size(), comm.size(), comm.rank(), 1);
+    Histogram<double> hist(SchedArgs(2, 1), 0.0, 100.0, 32);
+    hist.set_combination_algorithm(MapCombiner::Algorithm::kRing);
+    std::vector<std::size_t> out(32, 0);
+    hist.run(data.data() + offset, len, out.data(), out.size());
+    EXPECT_EQ(out, expected) << "rank " << comm.rank();
+  });
+}
+
 TEST(DistributedStats, LaunchStatsReportTraffic) {
   const auto data = uniform_data(2000, 68);
   const auto stats = simmpi::launch(4, [&](simmpi::Communicator& comm) {

@@ -5,6 +5,7 @@
 
 #include <numeric>
 
+#include "analytics/grid_aggregation.h"
 #include "analytics/histogram.h"
 #include "analytics/kmeans.h"
 #include "analytics/reference.h"
@@ -14,6 +15,7 @@
 namespace smart {
 namespace {
 
+using analytics::GridAggregation;
 using analytics::Histogram;
 using analytics::KMeans;
 using analytics::KMeansInit;
@@ -103,6 +105,72 @@ TEST(Scheduler, TrailingPartialChunkIsSkippedAndCounted) {
   KMeans<double> km(SchedArgs(1, 4, &init, 1), 2, 4);
   km.run(data.data(), data.size(), nullptr, 0);
   EXPECT_EQ(km.stats().chunks_processed, 2u);
+  EXPECT_EQ(km.stats().elements_processed, 8u);
+  EXPECT_EQ(km.stats().elements_skipped, 2u);
+}
+
+// Regression for the tail-chunk drop: in_len % chunk_size trailing elements
+// used to vanish from structural aggregations without so much as a counter.
+// With process_tail on (the default) they are processed as one short final
+// chunk whose Chunk::length carries the true count.
+TEST(Scheduler, TrailingElementsProcessedAsShortChunk) {
+  // grid/chunk size 8 over 29 elements: 3 full chunks + a 5-element tail.
+  const auto data = uniform_data(29, 21);
+  GridAggregation<double> grid(SchedArgs(2, 8), 8);
+  std::vector<double> out(4, -1.0);
+  grid.run(data.data(), data.size(), out.data(), out.size());
+
+  EXPECT_EQ(grid.stats().chunks_processed, 4u);
+  EXPECT_EQ(grid.stats().elements_processed, data.size());
+  EXPECT_EQ(grid.stats().elements_skipped, 0u);
+  for (std::size_t cell = 0; cell < 4; ++cell) {
+    const std::size_t begin = cell * 8;
+    const std::size_t end = std::min<std::size_t>(begin + 8, data.size());
+    const double mean = std::accumulate(data.begin() + begin, data.begin() + end, 0.0) /
+                        static_cast<double>(end - begin);
+    EXPECT_NEAR(out[cell], mean, 1e-12) << "cell " << cell;
+  }
+}
+
+TEST(Scheduler, ProcessTailOffKeepsSkipAccountingAccurate) {
+  const auto data = uniform_data(29, 21);
+  RunOptions opts;
+  opts.process_tail = false;
+  GridAggregation<double> grid(SchedArgs(2, 8), 8, opts);
+  std::vector<double> out(4, -1.0);
+  grid.run(data.data(), data.size(), out.data(), out.size());
+
+  EXPECT_EQ(grid.stats().chunks_processed, 3u);
+  EXPECT_EQ(grid.stats().elements_processed, 24u);
+  EXPECT_EQ(grid.stats().elements_skipped, 5u);
+  EXPECT_EQ(out[3], -1.0);  // the tail cell was never touched
+}
+
+TEST(Scheduler, TailProcessingWorksUnderDynamicChunking) {
+  const auto data = uniform_data(1003, 22);
+  RunOptions opts;
+  opts.dynamic_chunking = true;
+  GridAggregation<double> grid(SchedArgs(3, 10), 10, opts);
+  grid.run(data.data(), data.size(), nullptr, 0);
+  EXPECT_EQ(grid.stats().chunks_processed, 101u);
+  EXPECT_EQ(grid.stats().elements_processed, data.size());
+  EXPECT_EQ(grid.stats().elements_skipped, 0u);
+}
+
+TEST(Scheduler, RecordAppsForceTailOff) {
+  // k-means' chunk is a feature vector: a partial record is malformed, so
+  // the app constructor forces process_tail off even when the caller left
+  // it on, and the ragged elements stay counted as skipped.
+  const auto data = uniform_data(10, 6);
+  KMeansInit init;
+  const std::vector<double> centroids = {0.0, 0.0, 0.0, 0.0, 100.0, 100.0, 100.0, 100.0};
+  init.centroids = centroids.data();
+  init.k = 2;
+  init.dims = 4;
+  RunOptions opts;
+  opts.process_tail = true;
+  KMeans<double> km(SchedArgs(1, 4, &init, 1), 2, 4, opts);
+  km.run(data.data(), data.size(), nullptr, 0);
   EXPECT_EQ(km.stats().elements_processed, 8u);
   EXPECT_EQ(km.stats().elements_skipped, 2u);
 }
