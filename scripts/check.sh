@@ -1,26 +1,46 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the threading tests.
+# Tier-1 verification plus sanitizer passes.
 #
-#   scripts/check.sh            # full check: build + ctest + TSan threading tests
-#   scripts/check.sh --no-tsan  # tier-1 only (what CI gates on)
+#   scripts/check.sh            # full check: build + ctest + TSan + ASan
+#   scripts/check.sh --no-tsan  # skip the TSan pass
+#   scripts/check.sh --no-asan  # skip the ASan pass
+#   scripts/check.sh --tier1    # tier-1 only (what CI gates on)
 #
 # The TSan half rebuilds test_threading and test_space_sharing in a separate
 # build tree (build-tsan/) with -DSMART_SANITIZE=thread and runs them; the
 # runtime is thread-heavy (thread pool, circular buffer, simmpi mailboxes),
 # so data races are the bug class worth a dedicated pass.
+#
+# The ASan half rebuilds the serialization- and fault-heavy tests in
+# build-asan/ with -DSMART_SANITIZE=address: checkpoint parsing of untrusted
+# headers, mid-round rollback of partially merged maps, and rank-death
+# unwinding are exactly where lifetime and bounds bugs would hide.
+#
+# Every ctest invocation runs with a hard per-test timeout (each test also
+# carries a TIMEOUT property from tests/CMakeLists.txt): a test that blocks
+# past its budget is a failure, never a hung CI job — the fault-tolerance
+# layer's whole contract is that silence becomes a typed error.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+run_asan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    --no-asan) run_asan=0 ;;
+    --tier1) run_tsan=0; run_asan=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: build =="
 cmake -B "$repo/build" -S "$repo" >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 
 echo "== tier-1: ctest =="
-ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" --timeout 120
 
 if [[ "$run_tsan" == 1 ]]; then
   echo "== tsan: build test_threading + test_space_sharing =="
@@ -31,6 +51,19 @@ if [[ "$run_tsan" == 1 ]]; then
   echo "== tsan: run =="
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_threading"
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_space_sharing"
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== asan: build test_fault_tolerance + test_serialize + test_distributed =="
+  cmake -B "$repo/build-asan" -S "$repo" -DSMART_SANITIZE=address \
+    -DSMART_BUILD_BENCHES=OFF -DSMART_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "$repo/build-asan" -j "$jobs" \
+    --target test_fault_tolerance test_serialize test_distributed
+
+  echo "== asan: run =="
+  ASAN_OPTIONS="halt_on_error=1" "$repo/build-asan/tests/test_fault_tolerance"
+  ASAN_OPTIONS="halt_on_error=1" "$repo/build-asan/tests/test_serialize"
+  ASAN_OPTIONS="halt_on_error=1" "$repo/build-asan/tests/test_distributed"
 fi
 
 echo "== check.sh: all green =="

@@ -2,63 +2,32 @@
 // accumulated analytics state) serializes through the same machinery that
 // global combination uses, so an in-situ job can persist its state at any
 // step boundary and resume after a restart — useful when the co-located
-// simulation itself checkpoints.
+// simulation itself checkpoints, and the substrate of the scheduler's
+// RecoveryPolicy auto-checkpoint.
+//
+// File format and durability guarantees (atomic tmp+rename writes, length
+// validation, FNV-1a snapshot checksum) live in core/checkpoint_io.h.
 #pragma once
 
-#include <cstdio>
-#include <stdexcept>
 #include <string>
 
+#include "core/checkpoint_io.h"
 #include "core/scheduler.h"
 
 namespace smart {
 
-namespace detail {
-constexpr std::uint64_t kCheckpointMagic = 0x534d4152542d434bULL;  // "SMART-CK"
-constexpr std::uint32_t kCheckpointVersion = 1;
-}  // namespace detail
-
-/// Writes the scheduler's combination map to `path` (overwrites).
+/// Atomically writes the scheduler's combination map to `path`: a crash or
+/// full disk mid-write leaves any previous checkpoint at `path` intact.
 template <typename In, typename Out>
 void save_checkpoint(const Scheduler<In, Out>& sched, const std::string& path) {
-  const Buffer snapshot = sched.snapshot();
-  Buffer file;
-  Writer w(file);
-  w.write(detail::kCheckpointMagic);
-  w.write(detail::kCheckpointVersion);
-  w.write<std::uint64_t>(snapshot.size());
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  const bool ok = std::fwrite(file.data(), 1, file.size(), f) == file.size() &&
-                  std::fwrite(snapshot.data(), 1, snapshot.size(), f) == snapshot.size();
-  std::fclose(f);
-  if (!ok) throw std::runtime_error("save_checkpoint: short write to " + path);
+  write_checkpoint_file(sched.snapshot(), path);
 }
 
 /// Replaces the scheduler's combination map with the checkpointed state.
 /// All reduction-object types in the checkpoint must be registered.
 template <typename In, typename Out>
 void load_checkpoint(Scheduler<In, Out>& sched, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) throw std::runtime_error("load_checkpoint: cannot open " + path);
-  std::uint64_t magic = 0;
-  std::uint32_t version = 0;
-  std::uint64_t size = 0;
-  const bool header_ok = std::fread(&magic, sizeof(magic), 1, f) == 1 &&
-                         std::fread(&version, sizeof(version), 1, f) == 1 &&
-                         std::fread(&size, sizeof(size), 1, f) == 1;
-  if (!header_ok || magic != detail::kCheckpointMagic) {
-    std::fclose(f);
-    throw std::runtime_error("load_checkpoint: " + path + " is not a Smart checkpoint");
-  }
-  if (version != detail::kCheckpointVersion) {
-    std::fclose(f);
-    throw std::runtime_error("load_checkpoint: unsupported checkpoint version");
-  }
-  Buffer snapshot(size);
-  const bool body_ok = std::fread(snapshot.data(), 1, size, f) == size;
-  std::fclose(f);
-  if (!body_ok) throw std::runtime_error("load_checkpoint: truncated checkpoint " + path);
+  const Buffer snapshot = read_checkpoint_file(path);
   sched.reset_combination_map();
   sched.absorb(snapshot);
 }

@@ -24,6 +24,7 @@
 // built-in time/space-sharing modes.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -115,26 +116,54 @@ inline void ship_end(simmpi::Communicator& comm, const Topology& topo) {
 /// Drains the assigned simulation ranks on a staging node, feeding each
 /// received block (in-transit) or snapshot (hybrid) into the scheduler.
 /// Returns the number of payloads processed.  The scheduler must have
-/// global combination off and — when raw blocks are expected —
+/// global combination off and — when raw blocks arrive —
 /// RunOptions::accumulate_across_runs on, so the per-block runs fold into
-/// one result.  Call combine_across_staging() afterwards for the
-/// cross-staging result.
+/// one result (enforced: each run() clears the map, so without it only the
+/// last block would survive, silently).  Call combine_across_staging()
+/// afterwards for the cross-staging result.
+///
+/// With `peer_timeout_seconds > 0` the drain is fault-tolerant: when the
+/// stream goes silent past the timeout, producers that have died are
+/// treated as having sent their end-of-stream marker (their already-
+/// delivered payloads still count), so one dead simulation rank cannot
+/// hang its staging node.  Silence without a death still raises
+/// simmpi::PeerUnreachable.
 template <typename In, typename Out>
-std::size_t stage_all(simmpi::Communicator& comm, const Topology& topo,
-                      Scheduler<In, Out>& sched) {
+std::size_t stage_all(simmpi::Communicator& comm, const Topology& topo, Scheduler<In, Out>& sched,
+                      double peer_timeout_seconds = 0.0) {
   if (sched.global_combination()) {
     throw std::logic_error("intransit::stage_all: turn off global combination");
   }
   std::size_t processed = 0;
-  int open_producers = static_cast<int>(topo.producers_of(comm.rank()).size());
-  while (open_producers > 0) {
-    Buffer payload = comm.recv(simmpi::kAnySource, detail::kStreamTag);
+  std::vector<int> open = topo.producers_of(comm.rank());
+  while (!open.empty()) {
+    int source = simmpi::kAnySource;
+    Buffer payload;
+    if (peer_timeout_seconds > 0.0) {
+      try {
+        payload = comm.recv_timeout(simmpi::kAnySource, detail::kStreamTag, peer_timeout_seconds,
+                                    &source);
+      } catch (const simmpi::PeerUnreachable&) {
+        // Reassign dead producers' stream ends: a producer that died can
+        // never send kEnd, so close its stream for it.
+        const auto dead = std::erase_if(open, [&](int p) { return !comm.peer_alive(p); });
+        if (dead == 0) throw;  // everyone is alive — a genuine stall
+        continue;
+      }
+    } else {
+      payload = comm.recv(simmpi::kAnySource, detail::kStreamTag, &source);
+    }
     Reader r(payload);
     switch (r.template read<detail::Kind>()) {
       case detail::Kind::kEnd:
-        --open_producers;
+        std::erase(open, source);
         break;
       case detail::Kind::kRaw: {
+        if (!sched.options().accumulate_across_runs) {
+          throw std::logic_error(
+              "intransit::stage_all: raw blocks need RunOptions::accumulate_across_runs "
+              "(each run() clears the map, so only the last block would survive)");
+        }
         const std::vector<In> block = r.template read_vector<In>();
         sched.run(block.data(), block.size(), nullptr, 0);
         ++processed;
@@ -157,21 +186,43 @@ std::size_t stage_all(simmpi::Communicator& comm, const Topology& topo,
 /// Merges the combination maps of all staging ranks: gather to the first
 /// staging rank, absorb, broadcast the global map back.  Must be called by
 /// every staging rank (and only them).
+///
+/// With `peer_timeout_seconds > 0` the combination is fault-tolerant: dead
+/// staging ranks are excluded, and when the first staging rank itself is
+/// dead the survivors agree on the first *surviving* staging rank as the
+/// root (every rank computes the same alive set from the shared death
+/// record, so no consensus round is needed).
 template <typename In, typename Out>
 void combine_across_staging(simmpi::Communicator& comm, const Topology& topo,
-                            Scheduler<In, Out>& sched) {
-  const int root = topo.first_staging();
+                            Scheduler<In, Out>& sched, double peer_timeout_seconds = 0.0) {
+  std::vector<int> staging;
+  for (int r = topo.first_staging(); r < topo.world_size; ++r) {
+    if (peer_timeout_seconds <= 0.0 || comm.peer_alive(r)) staging.push_back(r);
+  }
+  if (staging.empty()) return;
+  const int root = staging.front();
   if (comm.rank() == root) {
-    for (int peer = root + 1; peer < topo.world_size; ++peer) {
-      sched.absorb(comm.recv(peer, detail::kCombineTag));
+    for (const int peer : staging) {
+      if (peer == root) continue;
+      try {
+        if (peer_timeout_seconds > 0.0) {
+          sched.absorb(comm.recv_timeout(peer, detail::kCombineTag, peer_timeout_seconds));
+        } else {
+          sched.absorb(comm.recv(peer, detail::kCombineTag));
+        }
+      } catch (const simmpi::PeerUnreachable&) {
+        continue;  // died after staging: its partial result is lost, not the round
+      }
     }
     const Buffer global = sched.snapshot();
-    for (int peer = root + 1; peer < topo.world_size; ++peer) {
-      comm.send(peer, detail::kResultTag, global);
+    for (const int peer : staging) {
+      if (peer != root) comm.send(peer, detail::kResultTag, global);
     }
   } else {
     comm.send(root, detail::kCombineTag, sched.snapshot());
-    Buffer global = comm.recv(root, detail::kResultTag);
+    Buffer global = peer_timeout_seconds > 0.0
+                        ? comm.recv_timeout(root, detail::kResultTag, peer_timeout_seconds)
+                        : comm.recv(root, detail::kResultTag);
     sched.reset_combination_map();
     sched.absorb(global);
   }

@@ -1,5 +1,7 @@
 #include "core/map_combiner.h"
 
+#include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "common/timing.h"
@@ -12,14 +14,25 @@ namespace {
 constexpr int kTreeTag = -9000;
 constexpr int kRingReduceTag = -9200;
 constexpr int kRingGatherTag = -9400;
+// Fault-tolerant rounds burn two tags per recovery round, descending from
+// here, so round r+1 never matches round r's leftovers.  Attempts *within*
+// a round share its tags on purpose — see begin_recovery_round().
+constexpr int kFtBaseTag = -9600;
 }  // namespace
 
 MapCombineStats MapCombiner::allreduce(simmpi::Communicator& comm, CombinationMap& map,
-                                       const MergeFn& merge) {
+                                       const MergeFn& merge, double peer_timeout_seconds) {
   MapCombineStats stats;
   if (comm.size() <= 1) return stats;
   const std::size_t sent_before = comm.bytes_sent();
-  if (choose_ring(comm, map)) {
+  if (peer_timeout_seconds > 0.0) {
+    // Fault-tolerant round over the full rank set.  Always the tree: the
+    // ring needs every rank alive and the auto decision's first-round
+    // consensus is an unbounded collective — neither survives a dead peer.
+    std::vector<int> all(static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) all[static_cast<std::size_t>(r)] = r;
+    ft_tree_allreduce(comm, all, map, merge, peer_timeout_seconds, stats);
+  } else if (choose_ring(comm, map)) {
     ring_allreduce(comm, map, merge, stats);
   } else {
     tree_allreduce(comm, map, merge, stats);
@@ -31,6 +44,85 @@ MapCombineStats MapCombiner::allreduce(simmpi::Communicator& comm, CombinationMa
   agreed_footprint_ = map_footprint_bytes(map);
   have_agreed_footprint_ = true;
   return stats;
+}
+
+MapCombineStats MapCombiner::allreduce_surviving(simmpi::Communicator& comm,
+                                                 const std::vector<int>& alive,
+                                                 CombinationMap& map, const MergeFn& merge,
+                                                 double peer_timeout_seconds) {
+  MapCombineStats stats;
+  if (alive.size() <= 1) return stats;
+  const std::size_t sent_before = comm.bytes_sent();
+  ft_tree_allreduce(comm, alive, map, merge, peer_timeout_seconds, stats);
+  stats.wire_bytes = comm.bytes_sent() - sent_before;
+  agreed_footprint_ = map_footprint_bytes(map);
+  have_agreed_footprint_ = true;
+  return stats;
+}
+
+void MapCombiner::ft_tree_allreduce(simmpi::Communicator& comm, const std::vector<int>& ranks,
+                                    CombinationMap& map, const MergeFn& merge,
+                                    double timeout_seconds, MapCombineStats& stats) {
+  // Two tags per recovery round, shared by every attempt of the round
+  // (full-group, retried, and degraded alike).  A stale payload from an
+  // aborted attempt is byte-identical to its resend — the sender rolled
+  // back to its pre-round map first — so consuming it is harmless, and a
+  // rank that finished the round early can satisfy a still-retrying
+  // peer's receive from the result it already sent.  Per-*attempt* tags
+  // would instead require attempt lockstep, which partial failures break.
+  const int payload_tag = kFtBaseTag - 2 * ft_round_;
+  const int result_tag = payload_tag - 1;
+
+  const int m = static_cast<int>(ranks.size());
+  const auto it = std::find(ranks.begin(), ranks.end(), comm.rank());
+  if (it == ranks.end()) {
+    throw std::logic_error("MapCombiner: this rank is not in the combination group");
+  }
+  const int me = static_cast<int>(it - ranks.begin());
+  const auto peer = [&](int group_rank) { return ranks[static_cast<std::size_t>(group_rank)]; };
+
+  // Binomial reduction to the group's first rank (timed receives).
+  for (int dist = 1; dist < m; dist <<= 1) {
+    if (me % (2 * dist) == 0) {
+      if (me + dist < m) {
+        const Buffer child = comm.recv_timeout(peer(me + dist), payload_tag, timeout_seconds);
+        ThreadCpuTimer codec;
+        Reader r(child);
+        stats.map_merges += absorb_serialized_map(r, map, merge);
+        stats.codec_seconds += codec.seconds();
+      }
+    } else {
+      ThreadCpuTimer codec;
+      wire_.clear();
+      serialize_map(map, wire_);
+      stats.codec_seconds += codec.seconds();
+      ++stats.map_serializes;
+      stats.bytes_encoded += wire_.size();
+      comm.send(peer(me - dist), payload_tag, std::move(wire_));
+      wire_ = Buffer{};
+      break;
+    }
+  }
+
+  // Direct fan-out of the result: the root sends the merged map straight
+  // to every survivor.  Interior bcast forwarding would make one rank's
+  // death strand its whole subtree; direct sends keep every delivery
+  // independent, which matters more than latency here.
+  if (me == 0) {
+    ThreadCpuTimer codec;
+    wire_.clear();
+    serialize_map(map, wire_);
+    stats.codec_seconds += codec.seconds();
+    ++stats.map_serializes;
+    stats.bytes_encoded += wire_.size();
+    for (int g = 1; g < m; ++g) comm.send(peer(g), result_tag, wire_);
+  } else {
+    const Buffer global = comm.recv_timeout(peer(0), result_tag, timeout_seconds);
+    ThreadCpuTimer codec;
+    map = deserialize_map(global);
+    stats.codec_seconds += codec.seconds();
+    ++stats.map_deserializes;
+  }
 }
 
 bool MapCombiner::choose_ring(simmpi::Communicator& comm, const CombinationMap& map) {

@@ -74,8 +74,37 @@ class MapCombiner {
   /// In-place allreduce of `map` across `comm` using the app's merge().
   /// Collective: every rank of `comm` must call it with the same algorithm
   /// configuration.  On return every rank holds the identical global map.
-  MapCombineStats allreduce(simmpi::Communicator& comm, CombinationMap& map,
-                            const MergeFn& merge);
+  ///
+  /// With `peer_timeout_seconds > 0` the round is fault-tolerant: every
+  /// receive is bounded and a silent peer raises simmpi::PeerUnreachable
+  /// (possibly leaving this rank's map partially merged — callers roll
+  /// back and retry; core/scheduler.h does).  The fault-tolerant round
+  /// always uses the tree, tagged by the recovery round (see
+  /// begin_recovery_round), so a payload from round r can never be
+  /// consumed by round r+1.
+  MapCombineStats allreduce(simmpi::Communicator& comm, CombinationMap& map, const MergeFn& merge,
+                            double peer_timeout_seconds = 0.0);
+
+  /// Starts a fresh fault-tolerant round (a new tag namespace).  Call it
+  /// exactly once per *logical* combination round, before the first
+  /// attempt — NOT per retry.  Ranks advance rounds in lockstep because
+  /// every rank makes the same sequence of combination calls; attempts
+  /// cannot be kept in lockstep (survivors abort at different times: a
+  /// rank waiting on the dead peer fails instantly, one waiting on a live
+  /// but stalled peer only after its full timeout), so retried and
+  /// degraded attempts of one round deliberately share its tags.  That
+  /// sharing is safe because callers roll back to their pre-round map
+  /// before resending: any duplicate payload is byte-identical, and each
+  /// tree position consumes at most one payload per source per attempt.
+  void begin_recovery_round() { ++ft_round_; }
+
+  /// Degraded allreduce over a subset of `comm`'s ranks (the survivors of
+  /// a failed round, from Communicator::alive_ranks()).  Collective over
+  /// exactly the ranks listed in `alive` (ascending, containing this
+  /// rank); dead ranks are simply absent from the rebuilt tree.
+  MapCombineStats allreduce_surviving(simmpi::Communicator& comm, const std::vector<int>& alive,
+                                      CombinationMap& map, const MergeFn& merge,
+                                      double peer_timeout_seconds);
 
  private:
   bool choose_ring(simmpi::Communicator& comm, const CombinationMap& map);
@@ -83,12 +112,19 @@ class MapCombiner {
                       MapCombineStats& stats);
   void ring_allreduce(simmpi::Communicator& comm, CombinationMap& map, const MergeFn& merge,
                       MapCombineStats& stats);
+  /// Binomial tree + direct root fan-out over `ranks`, every receive
+  /// bounded by `timeout_seconds`.  Tags derive from ft_round_ (advanced
+  /// by begin_recovery_round, shared by all attempts of one round).
+  void ft_tree_allreduce(simmpi::Communicator& comm, const std::vector<int>& ranks,
+                         CombinationMap& map, const MergeFn& merge, double timeout_seconds,
+                         MapCombineStats& stats);
 
   Algorithm algorithm_;
   std::size_t ring_crossover_bytes_;
   Buffer wire_;  ///< reused encode buffer (capacity persists when not shipped)
   std::size_t agreed_footprint_ = 0;  ///< global map footprint after the last round
   bool have_agreed_footprint_ = false;
+  int ft_round_ = 0;  ///< fault-tolerant round counter (tag namespace; see begin_recovery_round)
 };
 
 }  // namespace smart

@@ -36,6 +36,11 @@ struct RunStats {
   std::size_t wire_bytes = 0;        ///< payload bytes this rank shipped during combination
   double codec_seconds = 0.0;        ///< time spent encoding/decoding combination maps
 
+  // Fault-tolerance accounting (RecoveryPolicy; see core/scheduler.h).
+  std::size_t combine_retries = 0;   ///< global-combination attempts retried after PeerUnreachable
+  std::size_t ranks_lost = 0;        ///< dead peers excluded from degraded combination
+  std::size_t auto_checkpoints = 0;  ///< periodic checkpoints written by the recovery policy
+
   // Phase times, CPU-measured on the owning rank thread / workers.
   double reduction_seconds = 0.0;     ///< critical path (max worker busy) summed over iterations
   double combination_seconds = 0.0;   ///< local combination

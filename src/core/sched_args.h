@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace smart {
 
@@ -61,6 +62,35 @@ struct RunOptions {
 
   /// Cells in the space-sharing circular buffer (paper Figure 4).
   std::size_t buffer_cells = 4;
+};
+
+/// Fault-tolerance knobs for long-lived in-situ runs (Scheduler::
+/// set_recovery_policy).  With a positive peer timeout, every blocking
+/// receive of the global-combination round is bounded: a dead or silent
+/// peer surfaces as simmpi::PeerUnreachable, the round rolls back and
+/// retries with exponential backoff, and once retries are exhausted the
+/// survivors rebuild the combination tree over the reduced rank set
+/// (RunStats::combine_retries / ranks_lost record both).  Orthogonally,
+/// the scheduler writes an atomic checkpoint of its combination map every
+/// N runs, so a restarted job resumes from the last completed step.
+struct RecoveryPolicy {
+  /// Write `checkpoint_path` after every N-th run() (0 = off).
+  int checkpoint_every_runs = 0;
+  std::string checkpoint_path;
+
+  /// Bound on any single combination receive; 0 disables fault tolerance
+  /// entirely (legacy block-forever combination, bit-exact behavior).
+  double peer_timeout_seconds = 0.0;
+
+  /// Full-round retries after a PeerUnreachable before degrading to the
+  /// surviving rank set.  Retries recover transient message loss; they
+  /// cannot resurrect a dead rank.
+  int combine_retries = 2;
+
+  /// First retry backoff; doubles per subsequent retry.
+  double retry_backoff_seconds = 0.005;
+
+  bool fault_tolerant_combination() const { return peer_timeout_seconds > 0.0; }
 };
 
 }  // namespace smart

@@ -56,12 +56,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/memory_tracker.h"
 #include "common/timing.h"
+#include "core/checkpoint_io.h"
 #include "core/chunk.h"
 #include "core/map_combiner.h"
 #include "core/red_obj.h"
@@ -113,6 +116,20 @@ class Scheduler {
     map_combiner_.set_algorithm(algorithm);
   }
   MapCombiner::Algorithm combination_algorithm() const { return map_combiner_.algorithm(); }
+
+  /// Arms fault tolerance (see RecoveryPolicy in core/sched_args.h): timed
+  /// combination receives with retry + backoff, degradation to the
+  /// surviving rank set once retries are exhausted, and periodic atomic
+  /// checkpoints of the combination map.  The default policy (all zeros)
+  /// keeps the legacy block-forever combination bit-exactly.
+  void set_recovery_policy(RecoveryPolicy policy) { recovery_ = std::move(policy); }
+  const RecoveryPolicy& recovery_policy() const { return recovery_; }
+
+  /// Ranks the degraded combination currently spans (empty until a peer
+  /// death has been detected — i.e. while every rank participates).
+  const std::vector<int>& surviving_ranks() const { return survivors_; }
+
+  const RunOptions& options() const { return opts_; }
 
   const CombinationMap& get_combination_map() const { return combination_map_; }
 
@@ -357,6 +374,15 @@ class Scheduler {
     }
     sync_tracked_objects();
     ++stats_.runs;
+
+    // Periodic auto-checkpoint (RecoveryPolicy): the accumulated state is
+    // persisted atomically at run boundaries, so a job restarted after a
+    // crash resumes from the last completed run (core/checkpoint_io.h).
+    if (recovery_.checkpoint_every_runs > 0 &&
+        stats_.runs % static_cast<std::size_t>(recovery_.checkpoint_every_runs) == 0) {
+      write_checkpoint_file(snapshot(), recovery_.checkpoint_path);
+      ++stats_.auto_checkpoints;
+    }
   }
 
   /// Algorithm 1 lines 3-6: clone the (seeded or post-combined) combination
@@ -502,17 +528,74 @@ class Scheduler {
   /// core/map_combiner.h) and the global map replaces every rank's local
   /// map, so the next iteration and get_combination_map see the global
   /// result.
+  ///
+  /// Under a fault-tolerant RecoveryPolicy the round is wrapped in a
+  /// recovery loop: on simmpi::PeerUnreachable the map rolls back to its
+  /// pre-round snapshot (a failed round may have partially merged peers),
+  /// the round retries with exponential backoff, and once a peer is known
+  /// dead — or retries are exhausted against one — the survivors rebuild
+  /// the tree over the reduced rank set and stay degraded from then on.
   void global_combination(simmpi::Communicator& comm) {
     WallTimer wall;
     ++stats_.global_combinations;
-    const MapCombineStats cs = map_combiner_.allreduce(comm, combination_map_, merge_fn());
+    if (!recovery_.fault_tolerant_combination()) {
+      fold_combine_stats(map_combiner_.allreduce(comm, combination_map_, merge_fn()));
+      stats_.global_seconds += wall.seconds();
+      return;
+    }
+
+    // Pre-round snapshot: a PeerUnreachable can surface after some peers'
+    // payloads were already absorbed, and replaying those merges would
+    // double-count them.  The rollback also keeps resent payloads
+    // byte-identical, which is what lets every attempt of this round
+    // share one tag namespace (MapCombiner::begin_recovery_round).
+    Buffer pre_round;
+    serialize_map(combination_map_, pre_round);
+    map_combiner_.begin_recovery_round();
+    const int max_attempts = std::max(1, recovery_.combine_retries + 1);
+    for (int attempt = 0;; ++attempt) {
+      try {
+        MapCombineStats cs;
+        if (survivors_.empty()) {
+          cs = map_combiner_.allreduce(comm, combination_map_, merge_fn(),
+                                       recovery_.peer_timeout_seconds);
+        } else {
+          cs = map_combiner_.allreduce_surviving(comm, survivors_, combination_map_, merge_fn(),
+                                                 recovery_.peer_timeout_seconds);
+        }
+        fold_combine_stats(cs);
+        break;
+      } catch (const simmpi::PeerUnreachable&) {
+        combination_map_ = deserialize_map(pre_round);
+        sync_tracked_objects();
+        const std::vector<int> alive = comm.alive_ranks();
+        const bool newly_degraded =
+            static_cast<int>(alive.size()) < comm.size() && alive != survivors_;
+        if (newly_degraded) {
+          // Every survivor computes the same alive set from the shared
+          // death record, so the degraded trees agree without a consensus
+          // round.  A newly detected death re-arms the retry budget.
+          survivors_ = alive;
+          stats_.ranks_lost = static_cast<std::size_t>(comm.size()) - alive.size();
+          attempt = -1;
+          continue;
+        }
+        if (attempt + 1 >= max_attempts) throw;
+        ++stats_.combine_retries;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            recovery_.retry_backoff_seconds * static_cast<double>(1 << attempt)));
+      }
+    }
+    stats_.global_seconds += wall.seconds();
+  }
+
+  void fold_combine_stats(const MapCombineStats& cs) {
     stats_.bytes_serialized += cs.bytes_encoded;
     stats_.wire_bytes += cs.wire_bytes;
     stats_.map_serializes += cs.map_serializes;
     stats_.map_deserializes += cs.map_deserializes;
     stats_.map_merges += cs.map_merges;
     stats_.codec_seconds += cs.codec_seconds;
-    stats_.global_seconds += wall.seconds();
   }
 
   SchedArgs args_;
@@ -522,6 +605,8 @@ class Scheduler {
   CombinationMap combination_map_;
   CombinationMap carry_map_;
   MapCombiner map_combiner_;
+  RecoveryPolicy recovery_;
+  std::vector<int> survivors_;  ///< degraded combination group; empty = everyone
   bool global_combination_ = true;
   std::size_t total_len_ = 0;
   std::size_t tracked_red_bytes_ = 0;

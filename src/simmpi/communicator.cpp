@@ -1,8 +1,11 @@
 #include "simmpi/communicator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
+#include "simmpi/fault.h"
 #include "simmpi/world.h"
 
 namespace smart::simmpi {
@@ -73,28 +76,130 @@ void Communicator::send(int dest, int tag, Buffer payload) {
     throw std::out_of_range("simmpi::send: destination rank out of range");
   }
   charge_own_cpu();
+  const int world_dest = to_world(dest);
+  bool duplicate = false;
+  if (auto* faults = world_.faults()) {
+    if (const auto rule = faults->on_operation(FaultOp::kSend, world_rank_, world_dest, tag)) {
+      switch (rule->action) {
+        case FaultAction::kKillRank:
+          // Mark dead *before* unwinding so peers' timed receives resolve
+          // immediately instead of waiting out their full deadline.
+          world_.mark_rank_dead(world_rank_);
+          throw detail::RankKilled{world_rank_};
+        case FaultAction::kDrop:
+          // The NIC "sent" it; it just never arrives.
+          state_->bytes_sent += payload.size();
+          return;
+        case FaultAction::kDelay:
+          std::this_thread::sleep_for(std::chrono::duration<double>(rule->delay_seconds));
+          state_->vclock += rule->delay_seconds;
+          break;
+        case FaultAction::kDuplicate:
+          duplicate = true;
+          break;
+      }
+    }
+  }
   state_->bytes_sent += payload.size();
   Envelope e;
   e.source = world_rank_;
   e.tag = tag;
   e.vtime = state_->vclock;
   e.payload = std::move(payload);
-  world_.mailbox(to_world(dest)).post(std::move(e));
+  if (duplicate) {
+    Envelope copy = e;
+    copy.payload = e.payload;
+    world_.mailbox(world_dest).post(std::move(copy));
+  }
+  world_.mailbox(world_dest).post(std::move(e));
 }
 
-Buffer Communicator::recv(int source, int tag, int* actual_source, int* actual_tag) {
-  charge_own_cpu();
-  const int world_source = source == kAnySource ? kAnySource : to_world(source);
-  Envelope e = world_.mailbox(world_rank_).receive(world_source, tag);
+void Communicator::inject_recv_faults(int world_source, int tag) {
+  auto* faults = world_.faults();
+  if (faults == nullptr) return;
+  const int peer = world_source == kAnySource ? kAnyRank : world_source;
+  if (const auto rule = faults->on_operation(FaultOp::kRecv, world_rank_, peer, tag)) {
+    switch (rule->action) {
+      case FaultAction::kKillRank:
+        world_.mark_rank_dead(world_rank_);
+        throw detail::RankKilled{world_rank_};
+      case FaultAction::kDelay:
+        std::this_thread::sleep_for(std::chrono::duration<double>(rule->delay_seconds));
+        state_->vclock += rule->delay_seconds;
+        break;
+      case FaultAction::kDrop:
+      case FaultAction::kDuplicate:
+        break;  // message-level actions have no receive-side meaning
+    }
+  }
+}
+
+Buffer Communicator::deliver(Envelope e, int* actual_source, int* actual_tag) {
   // Message arrival under the alpha-beta model: we cannot observe the data
   // earlier than the sender's clock plus the wire time.
   const double arrival = e.vtime + world_.network().transfer_seconds(e.payload.size());
   if (arrival > state_->vclock) state_->vclock = arrival;
   if (actual_source != nullptr) *actual_source = from_world(e.source);
   if (actual_tag != nullptr) *actual_tag = e.tag;
-  // Blocking in receive() costs no CPU, so reset the CPU baseline here.
+  // Blocking in receive costs no CPU, so reset the CPU baseline here.
   state_->last_cpu = thread_cpu_seconds();
   return std::move(e.payload);
+}
+
+Buffer Communicator::recv(int source, int tag, int* actual_source, int* actual_tag) {
+  charge_own_cpu();
+  const int world_source = source == kAnySource ? kAnySource : to_world(source);
+  inject_recv_faults(world_source, tag);
+  Envelope e = world_.mailbox(world_rank_).receive(world_source, tag);
+  return deliver(std::move(e), actual_source, actual_tag);
+}
+
+Buffer Communicator::recv_timeout(int source, int tag, double timeout_seconds, int* actual_source,
+                                  int* actual_tag) {
+  charge_own_cpu();
+  const int world_source = source == kAnySource ? kAnySource : to_world(source);
+  inject_recv_faults(world_source, tag);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                    std::chrono::duration<double>(timeout_seconds));
+  auto& box = world_.mailbox(world_rank_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    const double waited = std::chrono::duration<double>(now - start).count();
+    // A message already queued always wins, even from a freshly dead peer:
+    // its data was on the wire before the death.
+    if (auto e = box.try_receive(world_source, tag)) {
+      return deliver(std::move(*e), actual_source, actual_tag);
+    }
+    if (world_source != kAnySource && world_.rank_dead(world_source)) {
+      state_->last_cpu = thread_cpu_seconds();
+      throw PeerUnreachable(source, tag, waited, "peer rank is dead");
+    }
+    if (now >= deadline) {
+      state_->last_cpu = thread_cpu_seconds();
+      throw PeerUnreachable(source, tag, waited, "timed out waiting for message");
+    }
+    // Bounded wait slices keep dead-peer detection prompt even when the
+    // mark_rank_dead poke races with this receiver entering its wait.
+    const auto slice = std::min<std::chrono::steady_clock::duration>(
+        deadline - now, std::chrono::milliseconds(5));
+    if (auto e = box.receive_for(world_source, tag,
+                                 std::chrono::duration_cast<std::chrono::nanoseconds>(slice))) {
+      return deliver(std::move(*e), actual_source, actual_tag);
+    }
+  }
+}
+
+bool Communicator::peer_alive(int rank) const { return !world_.rank_dead(to_world(rank)); }
+
+std::vector<int> Communicator::alive_ranks() const {
+  std::vector<int> out;
+  const int n = size();
+  out.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    if (peer_alive(r)) out.push_back(r);
+  }
+  return out;
 }
 
 std::optional<Buffer> Communicator::try_recv(int source, int tag, int* actual_source,

@@ -72,6 +72,22 @@ class Communicator {
   /// Blocking receive; fills source/tag of the matched message if requested.
   Buffer recv(int source, int tag, int* actual_source = nullptr, int* actual_tag = nullptr);
 
+  /// Timed blocking receive: raises the typed PeerUnreachable (simmpi/
+  /// fault.h) once `timeout_seconds` pass without a matching message, or as
+  /// soon as the awaited source rank is known dead with nothing queued —
+  /// so a dead peer surfaces as a diagnosable error instead of a hang.
+  /// This is the receive every fault-tolerant path is built on.
+  Buffer recv_timeout(int source, int tag, double timeout_seconds, int* actual_source = nullptr,
+                      int* actual_tag = nullptr);
+
+  /// False once `rank` (in this communicator) has been declared dead.
+  bool peer_alive(int rank) const;
+
+  /// Ranks of this communicator not known dead, ascending — identical on
+  /// every surviving rank, which is what lets them rebuild a combination
+  /// tree over the same reduced rank set without a consensus round.
+  std::vector<int> alive_ranks() const;
+
   /// Non-blocking probe-and-receive: returns the matched message if one is
   /// already waiting, std::nullopt otherwise (MPI_Iprobe + MPI_Recv).
   std::optional<Buffer> try_recv(int source, int tag, int* actual_source = nullptr,
@@ -182,6 +198,12 @@ class Communicator {
   int to_world(int rank_in_comm) const;
   int from_world(int world_rank) const;
   void charge_own_cpu();
+  /// Consults the World's FaultInjector for a receive-side rule (kill or
+  /// delay) before blocking on the mailbox.
+  void inject_recv_faults(int world_source, int tag);
+  /// Folds a matched envelope's arrival time into the clock and hands the
+  /// payload out (shared by recv / try_recv / recv_timeout).
+  Buffer deliver(Envelope e, int* actual_source, int* actual_tag);
 
   World& world_;
   int world_rank_;

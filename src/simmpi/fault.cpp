@@ -1,0 +1,41 @@
+#include "simmpi/fault.h"
+
+namespace smart::simmpi {
+
+namespace {
+std::string describe(int source, int tag, double waited_seconds, const std::string& reason) {
+  return "simmpi::PeerUnreachable: " + reason + " (source " + std::to_string(source) + ", tag " +
+         std::to_string(tag) + ", waited " + std::to_string(waited_seconds) + " s)";
+}
+}  // namespace
+
+PeerUnreachable::PeerUnreachable(int source, int tag, double waited_seconds,
+                                 const std::string& reason)
+    : std::runtime_error(describe(source, tag, waited_seconds, reason)),
+      source_(source),
+      tag_(tag),
+      waited_seconds_(waited_seconds) {}
+
+void FaultInjector::add_rule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(Armed{rule, 0});
+}
+
+std::optional<FaultRule> FaultInjector::on_operation(FaultOp op, int rank, int peer, int tag) {
+  constexpr int kAnyTagLocal = -0x7fffffff;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& armed : rules_) {
+    const FaultRule& r = armed.rule;
+    if (r.op != op) continue;
+    if (r.rank != kAnyRank && r.rank != rank) continue;
+    if (r.peer != kAnyRank && r.peer != peer) continue;
+    if (r.tag != kAnyTagLocal && r.tag != tag) continue;
+    const std::size_t match_index = armed.matched++;
+    if (match_index < r.skip) continue;
+    if (match_index - r.skip >= r.max_fires) continue;
+    return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace smart::simmpi

@@ -1,0 +1,111 @@
+// Fault model for simmpi (the paper's target environment runs Smart next to
+// long-lived simulations, where a hung or dead rank wastes the whole
+// allocation — fault handling is exactly where MapReduce-like runtimes beat
+// raw MPI).
+//
+// Two halves:
+//
+//   * FaultInjector — deterministic failure testing.  Rules select
+//     operations by (op, rank, peer, tag) with a skip count and a fire
+//     budget, so "drop the 2nd message rank 3 sends to rank 0" is a single
+//     rule and runs reproduce bit-exactly.  Actions: drop, delay,
+//     duplicate, kill-rank.  The injector is consulted by
+//     Communicator::send / recv / recv_timeout; a fired kill unwinds the
+//     rank's thread and marks it dead in the World.
+//
+//   * PeerUnreachable — the typed error a *timed* receive raises when its
+//     deadline passes or its source rank is known dead.  Plain
+//     Communicator::recv keeps MPI's block-forever semantics; every
+//     fault-tolerant path (core/map_combiner's recovery tree,
+//     intransit::stage_all with a timeout) uses recv_timeout and converts
+//     silence into this error instead of a hang.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smart::simmpi {
+
+constexpr int kAnyRank = -1;
+
+/// Which side of a point-to-point operation a rule intercepts.
+enum class FaultOp : std::uint8_t { kSend, kRecv };
+
+enum class FaultAction : std::uint8_t {
+  kDrop,       ///< send only: the message is never delivered
+  kDelay,      ///< delivery delayed: sender stalls and the message's virtual
+               ///< timestamp advances by delay_seconds
+  kDuplicate,  ///< send only: the message is delivered twice
+  kKillRank,   ///< the rank executing the op dies (thread unwinds, rank is
+               ///< marked dead; peers see PeerUnreachable on timed receives)
+};
+
+/// One injection rule.  A rule *matches* an operation when op/rank/peer/tag
+/// all match (kAnyRank / mailbox.h's kAnyTag are wildcards); it *fires* on
+/// matches number skip+1 .. skip+max_fires.
+struct FaultRule {
+  FaultOp op = FaultOp::kSend;
+  int rank = kAnyRank;  ///< world rank executing the operation
+  int peer = kAnyRank;  ///< world destination (send) / source (recv)
+  int tag = -0x7fffffff;  // kAnyTag — duplicated here to avoid a mailbox.h cycle
+  FaultAction action = FaultAction::kDrop;
+  double delay_seconds = 0.0;  ///< kDelay only
+  std::size_t skip = 0;        ///< matching operations let through first
+  std::size_t max_fires = std::numeric_limits<std::size_t>::max();
+};
+
+/// Raised by timed receives (Communicator::recv_timeout and everything
+/// built on it) when no matching message arrives before the deadline or the
+/// awaited source rank is dead.
+class PeerUnreachable : public std::runtime_error {
+ public:
+  PeerUnreachable(int source, int tag, double waited_seconds, const std::string& reason);
+
+  int source() const { return source_; }
+  int tag() const { return tag_; }
+  double waited_seconds() const { return waited_seconds_; }
+
+ private:
+  int source_;
+  int tag_;
+  double waited_seconds_;
+};
+
+namespace detail {
+/// Thrown (not derived from std::exception) to unwind a rank thread a
+/// kKillRank rule fired on; launch() absorbs it as a rank death rather than
+/// a program error.
+struct RankKilled {
+  int world_rank = 0;
+};
+}  // namespace detail
+
+/// Thread-safe rule set shared by all ranks of a World.  Rules are
+/// evaluated in insertion order; the first rule that fires wins.
+class FaultInjector {
+ public:
+  void add_rule(FaultRule rule);
+
+  /// Consulted by Communicator on every send/recv.  Returns the fired
+  /// rule, if any.  Counting is atomic, so concurrent ranks observe a
+  /// deterministic per-rule fire budget (though which op consumes which
+  /// fire is scheduling-dependent when a wildcard rule spans ranks — pin
+  /// `rank` for reproducible kills).
+  std::optional<FaultRule> on_operation(FaultOp op, int rank, int peer, int tag);
+
+ private:
+  struct Armed {
+    FaultRule rule;
+    std::size_t matched = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Armed> rules_;
+};
+
+}  // namespace smart::simmpi

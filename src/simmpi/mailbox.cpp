@@ -29,6 +29,22 @@ Envelope Mailbox::receive(int source, int tag) {
   }
 }
 
+std::optional<Envelope> Mailbox::receive_for(int source, int tag,
+                                             std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (auto e = take_locked(source, tag)) return e;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last look: the message may have been posted between the final
+      // wake-up and the deadline check.
+      return take_locked(source, tag);
+    }
+  }
+}
+
+void Mailbox::poke() { cv_.notify_all(); }
+
 std::optional<Envelope> Mailbox::try_receive(int source, int tag) {
   std::lock_guard<std::mutex> lock(mu_);
   return take_locked(source, tag);

@@ -3,6 +3,7 @@
 // boundary pays the same serialization cost it would pay under real MPI.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -34,8 +35,19 @@ class Mailbox {
   /// Blocks until a matching message arrives.
   Envelope receive(int source, int tag);
 
+  /// Timed blocking receive: waits up to `timeout` for a matching message,
+  /// std::nullopt once the deadline passes.  This is the primitive the
+  /// fault-tolerant paths are built on — a dead peer becomes a bounded
+  /// wait instead of a hang (Communicator::recv_timeout raises the typed
+  /// PeerUnreachable on top of it).
+  std::optional<Envelope> receive_for(int source, int tag, std::chrono::nanoseconds timeout);
+
   /// Non-blocking probe-and-take.
   std::optional<Envelope> try_receive(int source, int tag);
+
+  /// Wakes every blocked receiver so it re-evaluates its wait condition
+  /// (used by World::mark_rank_dead to cut short waits on a dead peer).
+  void poke();
 
   /// True if a matching message is queued (does not consume it).
   bool has_match(int source, int tag) const;

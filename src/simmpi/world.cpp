@@ -16,6 +16,30 @@ World::World(int nranks, NetworkModel net) : net_(net) {
   if (nranks <= 0) throw std::invalid_argument("simmpi::World: nranks must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  dead_.assign(static_cast<std::size_t>(nranks), false);
+}
+
+void World::mark_rank_dead(int rank) {
+  {
+    std::lock_guard<std::mutex> lock(dead_mu_);
+    dead_.at(static_cast<std::size_t>(rank)) = true;
+  }
+  // Blocked timed receivers re-check their peer's liveness on wake-up.
+  for (auto& box : mailboxes_) box->poke();
+}
+
+bool World::rank_dead(int rank) const {
+  std::lock_guard<std::mutex> lock(dead_mu_);
+  return dead_.at(static_cast<std::size_t>(rank));
+}
+
+std::vector<int> World::dead_ranks() const {
+  std::lock_guard<std::mutex> lock(dead_mu_);
+  std::vector<int> out;
+  for (int r = 0; r < static_cast<int>(dead_.size()); ++r) {
+    if (dead_[static_cast<std::size_t>(r)]) out.push_back(r);
+  }
+  return out;
 }
 
 double LaunchStats::makespan() const {
@@ -35,12 +59,15 @@ CurrentGuard::CurrentGuard(Communicator* comm) : previous_(g_current) { g_curren
 CurrentGuard::~CurrentGuard() { g_current = previous_; }
 }  // namespace detail
 
-LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn, NetworkModel net) {
+LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn, NetworkModel net,
+                   std::shared_ptr<FaultInjector> faults) {
   World world(nranks, net);
+  world.set_fault_injector(std::move(faults));
   LaunchStats stats;
   stats.rank_vtime.assign(static_cast<std::size_t>(nranks), 0.0);
   stats.rank_bytes_sent.assign(static_cast<std::size_t>(nranks), 0);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<char> killed(static_cast<std::size_t>(nranks), 0);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
 
@@ -51,6 +78,10 @@ LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn, Net
       detail::CurrentGuard guard(&comm);
       try {
         fn(comm);
+      } catch (const detail::RankKilled&) {
+        // The kill site already marked the rank dead; a killed rank is a
+        // simulated crash, not a program error.
+        killed[static_cast<std::size_t>(r)] = 1;
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
@@ -61,6 +92,9 @@ LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn, Net
   for (auto& t : threads) t.join();
   stats.wall_seconds = wall.seconds();
 
+  for (int r = 0; r < nranks; ++r) {
+    if (killed[static_cast<std::size_t>(r)]) stats.ranks_killed.push_back(r);
+  }
   for (auto& err : errors) {
     if (err) std::rethrow_exception(err);
   }

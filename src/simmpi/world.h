@@ -1,12 +1,22 @@
 // World: the set of ranks in one SPMD launch, their mailboxes, and the
 // launch() entry point that spawns a thread per rank.
+//
+// Fault model (see simmpi/fault.h): a World optionally carries a
+// FaultInjector whose rules the communicators consult on every send/recv,
+// and tracks which ranks have died.  A rank killed by a kKillRank rule
+// unwinds its thread, is marked dead here (waking every blocked timed
+// receiver), and is reported in LaunchStats::ranks_killed rather than
+// rethrown as an error — the surviving ranks' outcome is the launch's
+// outcome, which is the whole point of fault-tolerant analytics.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "simmpi/communicator.h"
+#include "simmpi/fault.h"
 #include "simmpi/mailbox.h"
 
 namespace smart::simmpi {
@@ -19,9 +29,24 @@ class World {
   Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
   const NetworkModel& network() const { return net_; }
 
+  /// Installs the shared fault-injection rule set (null = fault-free).
+  void set_fault_injector(std::shared_ptr<FaultInjector> faults) { faults_ = std::move(faults); }
+  FaultInjector* faults() const { return faults_.get(); }
+
+  /// Declares a rank dead and wakes every blocked timed receiver so waits
+  /// on the dead peer resolve to PeerUnreachable instead of their full
+  /// timeout.
+  void mark_rank_dead(int rank);
+  bool rank_dead(int rank) const;
+  /// World ranks currently dead, ascending.
+  std::vector<int> dead_ranks() const;
+
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   NetworkModel net_;
+  std::shared_ptr<FaultInjector> faults_;
+  mutable std::mutex dead_mu_;
+  std::vector<bool> dead_;
 };
 
 /// Outcome of one SPMD launch: per-rank final virtual clocks and traffic.
@@ -29,6 +54,8 @@ struct LaunchStats {
   std::vector<double> rank_vtime;
   std::vector<std::size_t> rank_bytes_sent;
   double wall_seconds = 0.0;
+  /// World ranks a FaultInjector kKillRank rule terminated, ascending.
+  std::vector<int> ranks_killed;
 
   /// Virtual makespan: what an ideal one-core-per-rank machine would show.
   double makespan() const;
@@ -37,9 +64,11 @@ struct LaunchStats {
 
 /// Runs fn on nranks concurrent ranks (one thread each) and joins them.
 /// Any rank exception is captured and rethrown on the caller after all
-/// ranks finish or the world would deadlock otherwise.
+/// ranks finish or the world would deadlock otherwise.  A non-null
+/// `faults` arms deterministic fault injection; ranks it kills are
+/// recorded in LaunchStats::ranks_killed, not rethrown.
 LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
-                   NetworkModel net = {});
+                   NetworkModel net = {}, std::shared_ptr<FaultInjector> faults = nullptr);
 
 /// The communicator of the calling rank thread, or nullptr outside launch().
 /// This is how the Smart scheduler discovers the SPMD context it was
