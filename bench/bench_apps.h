@@ -20,6 +20,7 @@
 #include "analytics/mutual_information.h"
 #include "analytics/savitzky_golay.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "core/run_stats.h"
 
 namespace smart::bench {
@@ -33,6 +34,9 @@ class AnalyticsApp {
   virtual const RunStats& stats() const = 0;
   /// Toggle cross-rank combination (window apps are off by construction).
   virtual void set_global_combination(bool flag) = 0;
+  /// Installs a per-phase CSV recorder on the underlying scheduler (see
+  /// RunOptions::phase_tracer); nullptr clears it.
+  virtual void set_phase_tracer(PhaseTracer* tracer) = 0;
 };
 
 namespace detail {
@@ -46,6 +50,7 @@ class SingleKeyApp : public AnalyticsApp {
   }
   const RunStats& stats() const override { return sched_->stats(); }
   void set_global_combination(bool flag) override { sched_->set_global_combination(flag); }
+  void set_phase_tracer(PhaseTracer* tracer) override { sched_->set_phase_tracer(tracer); }
 
  protected:
   std::unique_ptr<SchedulerT> sched_;
@@ -61,6 +66,7 @@ class WindowApp : public AnalyticsApp {
   }
   const RunStats& stats() const override { return sched_->stats(); }
   void set_global_combination(bool flag) override { sched_->set_global_combination(flag); }
+  void set_phase_tracer(PhaseTracer* tracer) override { sched_->set_phase_tracer(tracer); }
 
  private:
   std::unique_ptr<SchedulerT> sched_;
@@ -87,6 +93,7 @@ class KMeansApp : public AnalyticsApp {
   }
   const RunStats& stats() const override { return sched_->stats(); }
   void set_global_combination(bool flag) override { sched_->set_global_combination(flag); }
+  void set_phase_tracer(PhaseTracer* tracer) override { sched_->set_phase_tracer(tracer); }
 
  private:
   static constexpr std::size_t kK = 8;

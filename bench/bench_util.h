@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/timing.h"
+#include "core/run_stats.h"
 
 namespace smart::bench {
 
@@ -44,6 +45,16 @@ inline void finish(Table& table, const std::string& tag, const std::string& titl
   table.print(std::cout, title);
   table.print_csv(std::cout, tag);
   std::cout << std::endl;
+}
+
+/// One machine-readable scheduler-stat line per experiment leg:
+///   RUNSTATS <tag> {"runs": ..., "chunks_processed": ..., ...}
+/// The JSON shape is RunStats::dump_json, so every harness reports the
+/// complete stat set uniformly instead of hand-picking fields.
+inline void print_run_stats(const std::string& tag, const RunStats& stats) {
+  std::cout << "RUNSTATS " << tag << " ";
+  stats.dump_json(std::cout);
+  std::cout << "\n";
 }
 
 /// Resets the process-wide memory tracker between experiment legs.

@@ -24,6 +24,7 @@ struct AppResult {
   double spark_wall = 0.0;
   std::size_t smart_peak_bytes = 0;
   std::size_t spark_peak_bytes = 0;
+  RunStats smart_stats;  // full scheduler stat set (RUNSTATS line)
 };
 
 minispark::SparkContext::Config spark_config(int threads) {
@@ -43,7 +44,8 @@ AppResult bench_logreg(const std::vector<double>& data, int threads) {
     WallTimer wall;
     reg.run(data.data(), data.size(), nullptr, 0);
     r.smart_wall = wall.seconds();
-    r.smart_virtual = reg.stats().reduction_seconds + reg.stats().combination_seconds;
+    r.smart_stats = reg.stats();
+    r.smart_virtual = r.smart_stats.reduction_seconds + r.smart_stats.combination_seconds;
     r.smart_peak_bytes = MemoryTracker::instance().peak();
   }
   {
@@ -71,7 +73,8 @@ AppResult bench_kmeans(const std::vector<double>& data, int threads) {
     WallTimer wall;
     km.run(data.data(), data.size(), nullptr, 0);
     r.smart_wall = wall.seconds();
-    r.smart_virtual = km.stats().reduction_seconds + km.stats().combination_seconds;
+    r.smart_stats = km.stats();
+    r.smart_virtual = r.smart_stats.reduction_seconds + r.smart_stats.combination_seconds;
     r.smart_peak_bytes = MemoryTracker::instance().peak();
   }
   {
@@ -94,7 +97,8 @@ AppResult bench_histogram(const std::vector<double>& data, int threads) {
     WallTimer wall;
     hist.run(data.data(), data.size(), nullptr, 0);
     r.smart_wall = wall.seconds();
-    r.smart_virtual = hist.stats().reduction_seconds + hist.stats().combination_seconds;
+    r.smart_stats = hist.stats();
+    r.smart_virtual = r.smart_stats.reduction_seconds + r.smart_stats.combination_seconds;
     r.smart_peak_bytes = MemoryTracker::instance().peak();
   }
   {
@@ -115,6 +119,8 @@ void run_app(const char* name, const char* tag, const std::vector<double>& data,
   double smart_base_virtual = 0.0;
   for (const int threads : {1, 2, 4, 8}) {
     const AppResult r = fn(data, threads);
+    smart::bench::print_run_stats(std::string(tag) + "/threads=" + std::to_string(threads),
+                                  r.smart_stats);
     if (threads == 1) smart_base_virtual = r.smart_virtual;
     table.begin_row();
     table.add(threads);

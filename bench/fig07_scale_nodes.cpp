@@ -27,6 +27,7 @@ struct RunResult {
   double makespan = 0.0;
   double codec_seconds = 0.0;  ///< max per-rank time encoding/decoding maps
   std::size_t wire_bytes = 0;  ///< total combination payload across ranks
+  RunStats rank0;              ///< rank 0's full stat set (RUNSTATS line)
 };
 
 RunResult run_once(const std::string& app_name, int nranks, std::size_t nz_global) {
@@ -48,6 +49,7 @@ RunResult run_once(const std::string& app_name, int nranks, std::size_t nz_globa
     std::lock_guard<std::mutex> lock(mu);
     result.codec_seconds = std::max(result.codec_seconds, rs.codec_seconds);
     result.wire_bytes += rs.wire_bytes;
+    if (comm.rank() == 0) result.rank0 = rs;
   });
   result.makespan = stats.makespan();
   return result;
@@ -72,6 +74,7 @@ int main() {
     double base = 0.0;
     for (const int nranks : kRankCounts) {
       const RunResult r = run_once(app, nranks, nz_global);
+      smart::bench::print_run_stats(app + "/ranks=" + std::to_string(nranks), r.rank0);
       if (nranks == kRankCounts.front()) base = r.makespan;
       const double speedup = base / r.makespan * kRankCounts.front();
       const double efficiency = speedup / nranks;

@@ -97,7 +97,7 @@ Measured measure(const std::string& app_name) {
 
   // ... and a global run measures the per-step combination traffic, from
   // which the coprocessor sync cost is modeled.
-  std::size_t bytes = 0, rounds = 0;
+  RunStats rank0;
   simmpi::launch(kRanks, [&](simmpi::Communicator& comm) {
     sim::MiniLulesh lulesh({.edge = lulesh_edge()}, &comm);
     auto app = smart::bench::make_app(app_name, 1, 0.95, 1.35);
@@ -105,13 +105,11 @@ Measured measure(const std::string& app_name) {
       for (int sub = 0; sub < kSubSteps; ++sub) lulesh.step();
       app->run(lulesh.output(), lulesh.output_len());
     }
-    if (comm.rank() == 0) {
-      bytes = app->stats().bytes_serialized;
-      rounds = app->stats().global_combinations;
-    }
+    if (comm.rank() == 0) rank0 = app->stats();
   });
-  m.sync_per_step = (static_cast<double>(rounds) * kAlphaMpi +
-                     static_cast<double>(bytes) / kBetaMpi) /
+  smart::bench::print_run_stats("fig10/" + app_name, rank0);
+  m.sync_per_step = (static_cast<double>(rank0.global_combinations) * kAlphaMpi +
+                     static_cast<double>(rank0.bytes_serialized) / kBetaMpi) /
                     kSteps;
   return m;
 }

@@ -27,13 +27,14 @@ struct Leg {
   std::size_t peak_objects = 0;
   std::size_t peak_bytes = 0;
   bool over_budget = false;
+  RunStats rank0;  ///< rank 0's full scheduler stat set (RUNSTATS line)
 };
 
 Leg heat3d_moving_average(std::size_t nz_local, bool trigger, std::size_t budget) {
   smart::bench::reset_memory(budget);
   RunOptions opts;
   opts.enable_trigger = trigger;
-  std::size_t peak_objs = 0, peak_bytes = 0;
+  RunStats rank0;
   auto stats = simmpi::launch(kRanks, [&](simmpi::Communicator& comm) {
     ThreadPool sim_pool(2);
     sim::Heat3D heat({.nx = 32, .ny = 32, .nz_local = nz_local}, &comm, &sim_pool);
@@ -43,16 +44,14 @@ Leg heat3d_moving_average(std::size_t nz_local, bool trigger, std::size_t budget
       heat.step();
       ma.run2(heat.output(), heat.output_len(), out.data(), out.size());
     }
-    if (comm.rank() == 0) {
-      peak_objs = ma.stats().peak_reduction_objects;
-      peak_bytes = ma.stats().peak_reduction_bytes;
-    }
+    if (comm.rank() == 0) rank0 = ma.stats();
   });
   Leg leg;
   leg.makespan = stats.makespan();
-  leg.peak_objects = peak_objs;
-  leg.peak_bytes = peak_bytes;
+  leg.peak_objects = rank0.peak_reduction_objects;
+  leg.peak_bytes = rank0.peak_reduction_bytes;
   leg.over_budget = MemoryTracker::instance().peak_over_budget();
+  leg.rank0 = rank0;
   return leg;
 }
 
@@ -60,7 +59,7 @@ Leg lulesh_moving_median(std::size_t edge, bool trigger, std::size_t budget) {
   smart::bench::reset_memory(budget);
   RunOptions opts;
   opts.enable_trigger = trigger;
-  std::size_t peak_objs = 0, peak_bytes = 0;
+  RunStats rank0;
   auto stats = simmpi::launch(kRanks, [&](simmpi::Communicator& comm) {
     ThreadPool sim_pool(2);
     sim::MiniLulesh lulesh({.edge = edge}, &comm, &sim_pool);
@@ -70,16 +69,14 @@ Leg lulesh_moving_median(std::size_t edge, bool trigger, std::size_t budget) {
       lulesh.step();
       mm.run2(lulesh.output(), lulesh.output_len(), out.data(), out.size());
     }
-    if (comm.rank() == 0) {
-      peak_objs = mm.stats().peak_reduction_objects;
-      peak_bytes = mm.stats().peak_reduction_bytes;
-    }
+    if (comm.rank() == 0) rank0 = mm.stats();
   });
   Leg leg;
   leg.makespan = stats.makespan();
-  leg.peak_objects = peak_objs;
-  leg.peak_bytes = peak_bytes;
+  leg.peak_objects = rank0.peak_reduction_objects;
+  leg.peak_bytes = rank0.peak_reduction_bytes;
   leg.over_budget = MemoryTracker::instance().peak_over_budget();
+  leg.rank0 = rank0;
   return leg;
 }
 
@@ -112,6 +109,10 @@ int main() {
       const std::size_t scaled_nz = smart::bench::scaled(nz);
       const Leg on = heat3d_moving_average(scaled_nz, true, budget);
       const Leg off = heat3d_moving_average(scaled_nz, false, budget);
+      smart::bench::print_run_stats("fig11a/nz=" + std::to_string(scaled_nz) + "/trigger=on",
+                                    on.rank0);
+      smart::bench::print_run_stats("fig11a/nz=" + std::to_string(scaled_nz) + "/trigger=off",
+                                    off.rank0);
       table.begin_row();
       table.add(smart::format_bytes(32 * 32 * scaled_nz * sizeof(double)));
       table.add(on.makespan, 4);
@@ -144,6 +145,10 @@ int main() {
           static_cast<double>(edge) * std::cbrt(smart::bench_scale()));
       const Leg on = lulesh_moving_median(scaled_edge, true, budget);
       const Leg off = lulesh_moving_median(scaled_edge, false, budget);
+      smart::bench::print_run_stats("fig11b/edge=" + std::to_string(scaled_edge) + "/trigger=on",
+                                    on.rank0);
+      smart::bench::print_run_stats(
+          "fig11b/edge=" + std::to_string(scaled_edge) + "/trigger=off", off.rank0);
       table.begin_row();
       table.add(scaled_edge);
       table.add(on.makespan, 4);

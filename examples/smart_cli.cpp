@@ -7,6 +7,7 @@
 //   $ ./smart_cli --sim heat3d --app summary --render /tmp/slab.pgm
 //   $ ./smart_cli --list
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <thread>
 
@@ -16,6 +17,8 @@
 #include "bench/bench_apps.h"
 #include "common/arg_parser.h"
 #include "common/table.h"
+#include "common/trace.h"
+#include "obs/gather.h"
 #include "sim/emulator.h"
 #include "sim/heat3d.h"
 #include "sim/minilulesh.h"
@@ -98,15 +101,30 @@ int run(const ArgParser& args) {
     throw std::invalid_argument("--mode must be 'time' or 'space'");
   }
 
+  const std::string trace_out = args.has("trace-out") ? args.get("trace-out") : "";
+  const std::string metrics_out = args.has("metrics-out") ? args.get("metrics-out") : "";
+  const std::string phase_csv = args.has("phase-csv") ? args.get("phase-csv") : "";
+  if (!trace_out.empty()) obs::TraceCollector::instance().set_enabled(true);
+  if (!metrics_out.empty()) obs::set_metrics_enabled(true);
+  // One tracer across ranks: it is mutex-protected and assigns dense thread
+  // ids, so the CSV shows every rank's phases on one timeline.
+  PhaseTracer phase_tracer;
+  PhaseTracer* tracer = phase_csv.empty() ? nullptr : &phase_tracer;
+
   WallTimer wall;
   auto stats = simmpi::launch(ranks, [&](simmpi::Communicator& comm) {
     ThreadPool sim_pool(threads);
     SimDriver sim(sim_kind, &comm, &sim_pool, size_hint);
 
+    // The app body runs inside this nested lambda so that its early
+    // returns still fall through to the trace gather below — the gather is
+    // collective, so every rank must reach it.
+    const auto run_app = [&] {
     // The special-cased apps produce scalar reports; everything else goes
     // through the shared bench facade.
     if (app_name == "summary") {
       analytics::SummaryStats<double> job(SchedArgs(threads, 1));
+      job.set_phase_tracer(tracer);
       for (int s = 0; s < steps; ++s) {
         const double* data = sim.step();
         job.run(data, sim.output_len(), nullptr, 0);
@@ -128,6 +146,7 @@ int run(const ArgParser& args) {
     }
     if (app_name == "topk") {
       analytics::TopK<double> job(SchedArgs(threads, 1), 5);
+      job.set_phase_tracer(tracer);
       for (int s = 0; s < steps; ++s) {
         const double* data = sim.step();
         job.run(data, sim.output_len(), nullptr, 0);
@@ -143,6 +162,7 @@ int run(const ArgParser& args) {
     }
 
     auto app = smart::bench::make_app(app_name, threads, sim.data_min(), sim.data_max());
+    app->set_phase_tracer(tracer);
     if (mode == "time") {
       for (int s = 0; s < steps; ++s) app->run(sim.step(), sim.output_len());
     } else {
@@ -152,6 +172,7 @@ int run(const ArgParser& args) {
       analytics::Histogram<double> hist(SchedArgs(threads, 1), sim.data_min(), sim.data_max(),
                                         256);
       hist.set_global_combination(false);
+      hist.set_phase_tracer(tracer);
       std::thread analytics_task([&] {
         while (hist.run(nullptr, 0)) {
         }
@@ -169,12 +190,48 @@ int run(const ArgParser& args) {
       return;
     }
     if (comm.rank() == 0) {
-      const auto& s = app->stats();
-      std::printf("%s over %d step(s): %zu chunks, %zu elements, peak objects %zu\n",
-                  app_name.c_str(), steps, s.chunks_processed, s.elements_processed,
-                  s.peak_reduction_objects);
+      std::cout << app_name << " over " << steps << " step(s): ";
+      app->stats().dump_json(std::cout);
+      std::cout << "\n";
+    }
+    };  // run_app
+
+    run_app();
+
+    if (!trace_out.empty()) {
+      std::vector<int> missing;
+      const bool ok = obs::gather_trace_to_rank0(comm, trace_out, 5.0, &missing);
+      if (comm.rank() == 0) {
+        if (ok) {
+          std::printf("trace written to %s (%zu rank(s) missing)\n", trace_out.c_str(),
+                      missing.size());
+        } else {
+          std::fprintf(stderr, "error: could not write trace to %s\n", trace_out.c_str());
+        }
+      }
+    }
+    if (!metrics_out.empty() && comm.rank() == 0) {
+      // Ranks are threads of this process, so the global registry already
+      // holds every rank's updates; no wire gather needed here.
+      std::ofstream os(metrics_out);
+      if (os) {
+        obs::MetricsRegistry::global().snapshot().dump_json(os);
+        std::printf("metrics written to %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "error: could not write metrics to %s\n", metrics_out.c_str());
+      }
     }
   });
+
+  if (!phase_csv.empty()) {
+    std::ofstream os(phase_csv);
+    if (os) {
+      phase_tracer.dump_csv(os);
+      std::printf("phase CSV written to %s\n", phase_csv.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write phase CSV to %s\n", phase_csv.c_str());
+    }
+  }
 
   std::printf("wall %.3f s, virtual makespan %.4f s, network %s across %d rank(s)\n",
               wall.seconds(), stats.makespan(), format_bytes(stats.total_bytes_sent()).c_str(),
@@ -194,6 +251,9 @@ int main(int argc, char** argv) {
       .option("size", "per-rank size hint (heat3d nz / lulesh edge)", "24")
       .option("mode", "in-situ mode: time | space", "time")
       .option("render", "write the final plane to this PGM path (summary app)")
+      .option("trace-out", "write a Chrome/Perfetto trace of the run to this JSON path")
+      .option("metrics-out", "write the aggregated metrics snapshot to this JSON path")
+      .option("phase-csv", "write the scheduler's per-phase timeline to this CSV path")
       .flag("list", "print available simulations and analytics");
   try {
     args.parse(argc, argv);

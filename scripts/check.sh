@@ -42,15 +42,36 @@ cmake --build "$repo/build" -j "$jobs"
 echo "== tier-1: ctest =="
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" --timeout 120
 
+echo "== tier-1: trace validation =="
+# A real 4-rank run must emit a Chrome-trace file that parses as JSON and
+# contains matched span/flow events from more than one rank (the
+# observability subsystem's acceptance bar; see DESIGN.md "Observability").
+trace_json="$repo/build/check_trace.json"
+"$repo/build/examples/smart_cli" --sim heat3d --app histogram --ranks 4 \
+  --threads 2 --steps 3 --trace-out "$trace_json" >/dev/null
+python3 -m json.tool "$trace_json" >/dev/null
+python3 - "$trace_json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+span_ranks = {e["pid"] for e in events if e.get("ph") == "X"}
+starts = {e["id"] for e in events if e.get("ph") == "s"}
+ends = {e["id"] for e in events if e.get("ph") == "f"}
+assert len(span_ranks) >= 2, f"spans from one rank only: {span_ranks}"
+assert starts & ends, "no matched send->recv flow pair"
+print(f"   trace ok: {len(events)} events, span ranks {sorted(span_ranks)}, "
+      f"{len(starts & ends)} matched flow pair(s)")
+EOF
+
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tsan: build test_threading + test_space_sharing =="
+  echo "== tsan: build test_threading + test_space_sharing + test_obs =="
   cmake -B "$repo/build-tsan" -S "$repo" -DSMART_SANITIZE=thread \
     -DSMART_BUILD_BENCHES=OFF -DSMART_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build "$repo/build-tsan" -j "$jobs" --target test_threading test_space_sharing
+  cmake --build "$repo/build-tsan" -j "$jobs" --target test_threading test_space_sharing test_obs
 
   echo "== tsan: run =="
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_threading"
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_space_sharing"
+  TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_obs"
 fi
 
 if [[ "$run_asan" == 1 ]]; then

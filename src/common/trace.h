@@ -9,6 +9,7 @@
 #include <ostream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/timing.h"
@@ -106,18 +107,17 @@ class PhaseTracer {
   }
 
   std::size_t dense_thread_id_locked() {
-    const auto me = std::this_thread::get_id();
-    for (std::size_t i = 0; i < threads_.size(); ++i) {
-      if (threads_[i] == me) return i;
-    }
-    threads_.push_back(me);
-    return threads_.size() - 1;
+    // Ids stay dense in first-use order; the map makes the per-event lookup
+    // O(1) instead of a linear scan over every thread ever seen.
+    const auto [it, inserted] = thread_ids_.try_emplace(std::this_thread::get_id(),
+                                                        thread_ids_.size());
+    return it->second;
   }
 
   std::chrono::steady_clock::time_point origin_;
   mutable std::mutex mu_;
   std::vector<Event> events_;
-  std::vector<std::thread::id> threads_;
+  std::unordered_map<std::thread::id, std::size_t> thread_ids_;
 };
 
 }  // namespace smart

@@ -148,11 +148,19 @@ std::size_t stage_all(simmpi::Communicator& comm, const Topology& topo, Schedule
         // never send kEnd, so close its stream for it.
         const auto dead = std::erase_if(open, [&](int p) { return !comm.peer_alive(p); });
         if (dead == 0) throw;  // everyone is alive — a genuine stall
+        if (obs::trace_enabled()) {
+          obs::TraceCollector::instance().instant(
+              "stage.dead_producer", "intransit",
+              {{"closed", static_cast<std::int64_t>(dead)}});
+        }
         continue;
       }
     } else {
       payload = comm.recv(simmpi::kAnySource, detail::kStreamTag, &source);
     }
+    obs::TraceSpan payload_span("stage.payload", "intransit",
+                                {{"source", source},
+                                 {"bytes", static_cast<std::int64_t>(payload.size())}});
     Reader r(payload);
     switch (r.template read<detail::Kind>()) {
       case detail::Kind::kEnd:
@@ -195,6 +203,7 @@ std::size_t stage_all(simmpi::Communicator& comm, const Topology& topo, Schedule
 template <typename In, typename Out>
 void combine_across_staging(simmpi::Communicator& comm, const Topology& topo,
                             Scheduler<In, Out>& sched, double peer_timeout_seconds = 0.0) {
+  obs::TraceSpan span("stage.combine", "intransit");
   std::vector<int> staging;
   for (int r = topo.first_staging(); r < topo.world_size; ++r) {
     if (peer_timeout_seconds <= 0.0 || comm.peer_alive(r)) staging.push_back(r);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/timing.h"
+#include "obs/trace.h"
 
 namespace smart {
 
@@ -29,12 +30,15 @@ MapCombineStats MapCombiner::allreduce(simmpi::Communicator& comm, CombinationMa
     // Fault-tolerant round over the full rank set.  Always the tree: the
     // ring needs every rank alive and the auto decision's first-round
     // consensus is an unbounded collective — neither survives a dead peer.
+    obs::TraceSpan span("combine.ft_tree", "sched");
     std::vector<int> all(static_cast<std::size_t>(comm.size()));
     for (int r = 0; r < comm.size(); ++r) all[static_cast<std::size_t>(r)] = r;
     ft_tree_allreduce(comm, all, map, merge, peer_timeout_seconds, stats);
   } else if (choose_ring(comm, map)) {
+    obs::TraceSpan span("combine.ring", "sched");
     ring_allreduce(comm, map, merge, stats);
   } else {
+    obs::TraceSpan span("combine.tree", "sched");
     tree_allreduce(comm, map, merge, stats);
   }
   stats.wire_bytes = comm.bytes_sent() - sent_before;
@@ -53,6 +57,8 @@ MapCombineStats MapCombiner::allreduce_surviving(simmpi::Communicator& comm,
   MapCombineStats stats;
   if (alive.size() <= 1) return stats;
   const std::size_t sent_before = comm.bytes_sent();
+  obs::TraceSpan span("combine.ft_tree", "sched",
+                      {{"survivors", static_cast<std::int64_t>(alive.size())}});
   ft_tree_allreduce(comm, alive, map, merge, peer_timeout_seconds, stats);
   stats.wire_bytes = comm.bytes_sent() - sent_before;
   agreed_footprint_ = map_footprint_bytes(map);

@@ -5,8 +5,35 @@
 #pragma once
 
 #include <cstddef>
+#include <ostream>
 
 namespace smart {
+
+/// Every RunStats field, in declaration order — the single source for the
+/// JSON/CSV dumpers below, so a new stat added here shows up in every
+/// harness's output automatically.
+#define SMART_RUN_STATS_FOR_EACH_FIELD(X)                                           \
+  X(runs)                                                                           \
+  X(chunks_processed)                                                               \
+  X(elements_processed)                                                             \
+  X(elements_skipped)                                                               \
+  X(peak_reduction_objects)                                                         \
+  X(peak_reduction_bytes)                                                           \
+  X(early_emissions)                                                                \
+  X(bytes_serialized)                                                               \
+  X(global_combinations)                                                            \
+  X(map_serializes)                                                                 \
+  X(map_deserializes)                                                               \
+  X(map_merges)                                                                     \
+  X(wire_bytes)                                                                     \
+  X(codec_seconds)                                                                  \
+  X(combine_retries)                                                                \
+  X(ranks_lost)                                                                     \
+  X(auto_checkpoints)                                                               \
+  X(reduction_seconds)                                                              \
+  X(combination_seconds)                                                            \
+  X(global_seconds)                                                                 \
+  X(copy_seconds)
 
 struct RunStats {
   // Work accounting.
@@ -48,6 +75,42 @@ struct RunStats {
   double copy_seconds = 0.0;          ///< input copy (copy_input mode / space sharing feed)
 
   void reset() { *this = RunStats{}; }
+
+  // --- uniform reporting (replaces per-bench hand-rolled printing) --------
+
+  /// One flat JSON object, field names matching the members above.
+  void dump_json(std::ostream& os) const {
+    os << '{';
+    const char* sep = "";
+#define SMART_RUN_STATS_JSON_FIELD(f) \
+  os << sep << "\"" #f "\": " << f;   \
+  sep = ", ";
+    SMART_RUN_STATS_FOR_EACH_FIELD(SMART_RUN_STATS_JSON_FIELD)
+#undef SMART_RUN_STATS_JSON_FIELD
+    os << '}';
+  }
+
+  /// Column names for dump_csv_row, comma-separated, with trailing newline.
+  static void csv_header(std::ostream& os) {
+    const char* sep = "";
+#define SMART_RUN_STATS_CSV_NAME(f) \
+  os << sep << #f;                  \
+  sep = ",";
+    SMART_RUN_STATS_FOR_EACH_FIELD(SMART_RUN_STATS_CSV_NAME)
+#undef SMART_RUN_STATS_CSV_NAME
+    os << '\n';
+  }
+
+  /// One CSV row in csv_header order, with trailing newline.
+  void dump_csv_row(std::ostream& os) const {
+    const char* sep = "";
+#define SMART_RUN_STATS_CSV_FIELD(f) \
+  os << sep << f;                    \
+  sep = ",";
+    SMART_RUN_STATS_FOR_EACH_FIELD(SMART_RUN_STATS_CSV_FIELD)
+#undef SMART_RUN_STATS_CSV_FIELD
+    os << '\n';
+  }
 };
 
 }  // namespace smart

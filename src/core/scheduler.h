@@ -58,12 +58,16 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/memory_tracker.h"
 #include "common/timing.h"
+#include "common/trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/checkpoint_io.h"
 #include "core/chunk.h"
 #include "core/map_combiner.h"
@@ -80,6 +84,21 @@ namespace detail {
 /// Key currently being accumulated; lets position-aware apps (kernel
 /// density estimation) recover the window center inside accumulate().
 inline thread_local int t_current_key = 0;
+
+/// One scheduler phase observed through both sinks at once: an obs trace
+/// span (timeline export) and, when RunOptions::phase_tracer is set, a
+/// PhaseTracer interval (per-phase CSV).  Costs one branch per sink when
+/// neither is active.
+struct SchedPhaseScope {
+  obs::TraceSpan span;
+  std::optional<PhaseTracer::Scope> csv;
+
+  SchedPhaseScope(const char* name, PhaseTracer* tracer,
+                  std::initializer_list<obs::TraceArg> args = {})
+      : span(name, "sched", args) {
+    if (tracer != nullptr) csv.emplace(*tracer, name);
+  }
+};
 }  // namespace detail
 
 template <class In, class Out>
@@ -129,6 +148,11 @@ class Scheduler {
   /// death has been detected — i.e. while every rank participates).
   const std::vector<int>& surviving_ranks() const { return survivors_; }
 
+  /// Installs (or clears, with nullptr) the per-phase CSV recorder; see
+  /// RunOptions::phase_tracer.
+  void set_phase_tracer(PhaseTracer* tracer) { opts_.phase_tracer = tracer; }
+  PhaseTracer* phase_tracer() const { return opts_.phase_tracer; }
+
   const RunOptions& options() const { return opts_; }
 
   const CombinationMap& get_combination_map() const { return combination_map_; }
@@ -153,6 +177,8 @@ class Scheduler {
   /// Copies one time-step's output into a circular-buffer cell; blocks
   /// while all cells are in use (paper Figure 4's producer side).
   void feed(const In* in, std::size_t in_len) {
+    detail::SchedPhaseScope phase("feed_copy", opts_.phase_tracer,
+                                  {{"bytes", static_cast<std::int64_t>(in_len * sizeof(In))}});
     ThreadCpuTimer timer;
     FeedCell cell;
     cell.data.assign(in, in + in_len);
@@ -320,6 +346,8 @@ class Scheduler {
     if (opts_.copy_input) {
       // The Figure 9 comparison variant: materialize a private copy of the
       // simulation output before analyzing it.
+      detail::SchedPhaseScope phase("copy_input", opts_.phase_tracer,
+                                    {{"bytes", static_cast<std::int64_t>(in_len * sizeof(In))}});
       ThreadCpuTimer timer;
       copy.assign(in, in + in_len);
       copy_charge =
@@ -348,12 +376,23 @@ class Scheduler {
 
     for (int iter = 0; iter < args_.num_iters; ++iter) {
       distribute_combination_map();
-      reduction_phase(data, num_chunks, tail_len, out, out_len, multi_key);
-      local_combination();
+      {
+        detail::SchedPhaseScope phase("reduction", opts_.phase_tracer, {{"iter", iter}});
+        reduction_phase(data, num_chunks, tail_len, out, out_len, multi_key);
+      }
+      {
+        detail::SchedPhaseScope phase("local_combine", opts_.phase_tracer, {{"iter", iter}});
+        local_combination();
+      }
       if (global_combination_ && comm != nullptr && comm->size() > 1) {
+        detail::SchedPhaseScope phase("global_combine", opts_.phase_tracer, {{"iter", iter}});
         global_combination(*comm);
       }
       post_combine(combination_map_);
+      if (obs::metrics_enabled()) {
+        static obs::Gauge& entries = obs::MetricsRegistry::global().gauge("smart.map_entries");
+        entries.update_max(static_cast<double>(combination_map_.size()));
+      }
       sync_tracked_objects();
     }
 
@@ -374,13 +413,20 @@ class Scheduler {
     }
     sync_tracked_objects();
     ++stats_.runs;
+    if (obs::metrics_enabled()) {
+      static obs::Counter& runs = obs::MetricsRegistry::global().counter("smart.runs");
+      runs.add(1);
+    }
 
     // Periodic auto-checkpoint (RecoveryPolicy): the accumulated state is
     // persisted atomically at run boundaries, so a job restarted after a
     // crash resumes from the last completed run (core/checkpoint_io.h).
     if (recovery_.checkpoint_every_runs > 0 &&
         stats_.runs % static_cast<std::size_t>(recovery_.checkpoint_every_runs) == 0) {
-      write_checkpoint_file(snapshot(), recovery_.checkpoint_path);
+      obs::TraceSpan span("checkpoint", "sched");
+      const Buffer snap = snapshot();
+      span.arg("bytes", static_cast<std::int64_t>(snap.size()));
+      write_checkpoint_file(snap, recovery_.checkpoint_path);
       ++stats_.auto_checkpoints;
     }
   }
@@ -422,7 +468,11 @@ class Scheduler {
     std::vector<std::size_t> chunks_done(workers, 0);
     std::vector<std::size_t> elems_done(workers, 0);
 
+    // Pool workers have no rank attribution of their own; pin their spans
+    // to this scheduler's rank so the gather picks them up.
+    const int trace_rank = obs::thread_rank();
     const std::vector<double> busy = pool_->parallel_region([&](int w) {
+      obs::TraceSpan worker_span("reduce.worker", "sched", {{"worker", w}}, trace_rank);
       const auto uw = static_cast<std::size_t>(w);
       auto& rmap = reduction_maps_[uw];
       std::size_t peak = rmap.size();
@@ -554,6 +604,7 @@ class Scheduler {
     map_combiner_.begin_recovery_round();
     const int max_attempts = std::max(1, recovery_.combine_retries + 1);
     for (int attempt = 0;; ++attempt) {
+      obs::TraceSpan attempt_span("combine.attempt", "sched", {{"attempt", attempt}});
       try {
         MapCombineStats cs;
         if (survivors_.empty()) {
@@ -566,6 +617,10 @@ class Scheduler {
         fold_combine_stats(cs);
         break;
       } catch (const simmpi::PeerUnreachable&) {
+        if (obs::trace_enabled()) {
+          obs::TraceCollector::instance().instant("combine.retry", "sched",
+                                                  {{"attempt", attempt}});
+        }
         combination_map_ = deserialize_map(pre_round);
         sync_tracked_objects();
         const std::vector<int> alive = comm.alive_ranks();
@@ -590,6 +645,11 @@ class Scheduler {
   }
 
   void fold_combine_stats(const MapCombineStats& cs) {
+    if (obs::metrics_enabled()) {
+      static obs::FixedHistogram& wire = obs::MetricsRegistry::global().histogram(
+          "smart.wire_bytes_per_round", {1024, 16384, 65536, 262144, 1048576, 16777216});
+      wire.observe(static_cast<double>(cs.wire_bytes));
+    }
     stats_.bytes_serialized += cs.bytes_encoded;
     stats_.wire_bytes += cs.wire_bytes;
     stats_.map_serializes += cs.map_serializes;

@@ -1,0 +1,96 @@
+// Rank-0 gather of trace buffers and metrics registries.
+//
+// Header-only on purpose: these functions need simmpi::Communicator, but
+// smart_simmpi itself links smart_obs (the send/recv instrumentation), so
+// the Communicator-dependent pieces live here rather than in the library.
+//
+// Both gathers are collective over the communicator and degrade instead of
+// hanging: the root receives every peer's payload with recv_timeout, so a
+// rank that died mid-run (simmpi fault injection) is reported in
+// `missing_ranks` and the merged timeline/snapshot still gets written from
+// the survivors.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "simmpi/communicator.h"
+#include "simmpi/fault.h"
+
+namespace smart::obs {
+
+/// Positive user-space tags well clear of the runtime's (core/intransit
+/// uses 400..404; simmpi internals are negative).
+constexpr int kTraceGatherTag = 24601;
+constexpr int kMetricsGatherTag = 24602;
+
+/// Collective: every rank ships its slice of the process-global trace to
+/// rank 0, which merges (timestamp order) and writes a Chrome-trace JSON
+/// file.  Returns true on the root if the file was written; peers return
+/// true unconditionally.  Dead/silent peers are recorded into `missing`
+/// (root only) after `timeout_seconds` and do not block the export.
+inline bool gather_trace_to_rank0(simmpi::Communicator& comm, const std::string& path,
+                                  double timeout_seconds = 5.0,
+                                  std::vector<int>* missing = nullptr) {
+  TraceCollector& tc = TraceCollector::instance();
+  if (comm.rank() != 0) {
+    Buffer buf;
+    Writer w(buf);
+    serialize_events(w, tc.snapshot_events(comm.world_rank(), /*include_unattributed=*/false));
+    comm.send(0, kTraceGatherTag, std::move(buf));
+    return true;
+  }
+
+  // Root keeps its own slice plus events from threads outside any launch
+  // (e.g. a main thread that traced setup work).
+  std::vector<TraceEvent> merged =
+      tc.snapshot_events(comm.world_rank(), /*include_unattributed=*/true);
+  for (int peer = 1; peer < comm.size(); ++peer) {
+    try {
+      const Buffer buf = comm.recv_timeout(peer, kTraceGatherTag, timeout_seconds);
+      Reader r(buf);
+      std::vector<TraceEvent> events = deserialize_events(r);
+      merged.insert(merged.end(), std::make_move_iterator(events.begin()),
+                    std::make_move_iterator(events.end()));
+    } catch (const simmpi::PeerUnreachable&) {
+      if (missing != nullptr) missing->push_back(peer);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  return write_chrome_trace_file(path, merged);
+}
+
+/// Collective: merges per-rank registry snapshots onto rank 0 (counters and
+/// histogram buckets sum, gauges max).  Peers return their local snapshot;
+/// the root returns the merge, with unreachable peers listed in
+/// missing_ranks and ranks_merged counting only reporters.
+inline MetricsSnapshot gather_metrics_to_rank0(simmpi::Communicator& comm,
+                                               const MetricsRegistry& local,
+                                               double timeout_seconds = 5.0) {
+  MetricsSnapshot snap = local.snapshot();
+  if (comm.rank() != 0) {
+    Buffer buf;
+    Writer w(buf);
+    snap.serialize(w);
+    comm.send(0, kMetricsGatherTag, std::move(buf));
+    return snap;
+  }
+
+  for (int peer = 1; peer < comm.size(); ++peer) {
+    try {
+      const Buffer buf = comm.recv_timeout(peer, kMetricsGatherTag, timeout_seconds);
+      Reader r(buf);
+      snap.merge(MetricsSnapshot::deserialize(r));
+    } catch (const simmpi::PeerUnreachable&) {
+      snap.missing_ranks.push_back(peer);
+    }
+  }
+  return snap;
+}
+
+}  // namespace smart::obs

@@ -1,0 +1,48 @@
+// Minimal JSON string escaping shared by the trace and metrics exporters.
+//
+// Event and metric names are user-chosen (scope("step 3, \"flush\"")), so
+// every string that reaches a JSON document goes through json_escape — the
+// exported timeline must parse back no matter what the app called its
+// phases (tests/test_obs.cpp round-trips quotes, backslashes and newlines).
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace smart::obs {
+
+/// Escapes `s` for use inside a JSON string literal (without the enclosing
+/// quotes): ", \, and control characters below 0x20 per RFC 8259.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes `s` as a quoted JSON string literal.
+inline void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"' << json_escape(s) << '"';
+}
+
+}  // namespace smart::obs

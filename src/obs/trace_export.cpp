@@ -1,0 +1,143 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "obs/json.h"
+
+namespace smart::obs {
+
+namespace {
+
+// %.3f without locale surprises: trace timestamps are µs, so ms precision
+// inside the fraction is plenty and keeps files compact.
+void write_fixed(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  os << buf;
+}
+
+void write_args(std::ostream& os, const TraceEvent& e) {
+  os << "\"args\":{";
+  for (std::uint8_t i = 0; i < e.num_args; ++i) {
+    if (i > 0) os << ',';
+    write_json_string(os, e.arg_key[i]);
+    os << ':' << e.arg_val[i];
+  }
+  os << '}';
+}
+
+void write_event(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":";
+  write_json_string(os, e.name);
+  os << ",\"cat\":";
+  write_json_string(os, e.cat.empty() ? std::string_view("smart") : std::string_view(e.cat));
+  os << ",\"pid\":" << e.rank << ",\"tid\":" << e.tid << ",\"ts\":";
+  write_fixed(os, e.ts_us);
+  switch (e.type) {
+    case TraceEvent::Type::kComplete:
+      os << ",\"ph\":\"X\",\"dur\":";
+      write_fixed(os, e.dur_us);
+      break;
+    case TraceEvent::Type::kInstant:
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+      break;
+    case TraceEvent::Type::kFlowStart:
+      os << ",\"ph\":\"s\",\"id\":" << e.flow_id;
+      break;
+    case TraceEvent::Type::kFlowEnd:
+      // bp=e binds the arrow to the enclosing slice (the recv span).
+      os << ",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << e.flow_id;
+      break;
+  }
+  if (e.num_args > 0) {
+    os << ',';
+    write_args(os, e);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+
+  // One process_name metadata record per rank so Perfetto labels the lanes.
+  std::set<std::int32_t> ranks;
+  for (const TraceEvent& e : events) ranks.insert(e.rank);
+  for (const std::int32_t rank : ranks) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << rank
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    if (rank == kUnattributedRank) {
+      os << "unattributed";
+    } else {
+      os << "rank " << rank;
+    }
+    os << "\"}}";
+  }
+
+  for (const TraceEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << '\n';
+    write_event(os, e);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, const std::vector<TraceEvent>& events) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os, events);
+  return os.good();
+}
+
+void serialize_events(Writer& w, const std::vector<TraceEvent>& events) {
+  w.write<std::uint64_t>(events.size());
+  for (const TraceEvent& e : events) {
+    w.write<std::uint8_t>(static_cast<std::uint8_t>(e.type));
+    w.write<std::int32_t>(e.rank);
+    w.write<std::uint32_t>(e.tid);
+    w.write<double>(e.ts_us);
+    w.write<double>(e.dur_us);
+    w.write<std::uint64_t>(e.flow_id);
+    w.write_string(e.name);
+    w.write_string(e.cat);
+    w.write<std::uint8_t>(e.num_args);
+    for (std::uint8_t i = 0; i < e.num_args; ++i) {
+      w.write_string(e.arg_key[i]);
+      w.write<std::int64_t>(e.arg_val[i]);
+    }
+  }
+}
+
+std::vector<TraceEvent> deserialize_events(Reader& r) {
+  const auto n = r.read<std::uint64_t>();
+  std::vector<TraceEvent> events;
+  events.reserve(std::min<std::uint64_t>(n, 1u << 20));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TraceEvent e;
+    e.type = static_cast<TraceEvent::Type>(r.read<std::uint8_t>());
+    e.rank = r.read<std::int32_t>();
+    e.tid = r.read<std::uint32_t>();
+    e.ts_us = r.read<double>();
+    e.dur_us = r.read<double>();
+    e.flow_id = r.read<std::uint64_t>();
+    e.name = r.read_string();
+    e.cat = r.read_string();
+    e.num_args = std::min<std::uint8_t>(r.read<std::uint8_t>(), 2);
+    for (std::uint8_t a = 0; a < e.num_args; ++a) {
+      e.arg_key[a] = r.read_string();
+      e.arg_val[a] = r.read<std::int64_t>();
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+}  // namespace smart::obs

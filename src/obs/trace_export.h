@@ -1,0 +1,33 @@
+// Chrome trace-event / Perfetto JSON export for obs::TraceEvent streams,
+// plus the byte-level codec the rank-0 gather uses to ship events.
+//
+// The timeline maps pid=rank and tid=dense thread id, with "process_name"
+// metadata per rank, so ui.perfetto.dev (or chrome://tracing) renders a
+// 4-rank in-situ run as four labelled process lanes.  Spans are "X"
+// complete events (begin+duration — matched by construction), instants are
+// "i", and a send→recv pair shows as "s"/"f" flow arrows joined by id.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "obs/trace.h"
+
+namespace smart::obs {
+
+/// Writes `events` as a Chrome trace-event JSON document
+/// ({"traceEvents":[...]}) — loadable in Perfetto and chrome://tracing.
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events);
+
+/// write_chrome_trace to a file; returns false if the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path, const std::vector<TraceEvent>& events);
+
+/// Appends `events` to `w` for shipping across ranks (gather.h).
+void serialize_events(Writer& w, const std::vector<TraceEvent>& events);
+
+/// Reads back a serialize_events stream.
+std::vector<TraceEvent> deserialize_events(Reader& r);
+
+}  // namespace smart::obs

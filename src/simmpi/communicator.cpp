@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simmpi/fault.h"
 #include "simmpi/world.h"
 
@@ -19,6 +21,21 @@ constexpr int kReduceTag = -4000;
 constexpr int kScatterTag = -5000;
 constexpr int kAlltoallTag = -6000;
 constexpr int kSplitTag = -7000;
+
+/// Message-latency buckets for simmpi.recv_wait_us: 1µs .. 1s in decades.
+const std::vector<double>& recv_wait_bounds() {
+  static const std::vector<double> bounds{1, 10, 100, 1000, 10000, 100000, 1000000};
+  return bounds;
+}
+
+void observe_recv_wait(std::chrono::steady_clock::time_point wait_start) {
+  static obs::FixedHistogram& hist =
+      obs::MetricsRegistry::global().histogram("simmpi.recv_wait_us", recv_wait_bounds());
+  const double waited_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - wait_start)
+          .count();
+  hist.observe(waited_us);
+}
 }  // namespace
 
 Communicator::Communicator(World& world, int world_rank)
@@ -75,6 +92,14 @@ void Communicator::send(int dest, int tag, Buffer payload) {
   if (dest < 0 || dest >= size()) {
     throw std::out_of_range("simmpi::send: destination rank out of range");
   }
+  obs::TraceSpan span("send", "mpi",
+                      {{"tag", tag}, {"bytes", static_cast<std::int64_t>(payload.size())}});
+  if (obs::metrics_enabled()) {
+    static obs::Counter& msgs = obs::MetricsRegistry::global().counter("simmpi.messages_sent");
+    static obs::Counter& bytes = obs::MetricsRegistry::global().counter("simmpi.bytes_sent");
+    msgs.add(1);
+    bytes.add(static_cast<std::int64_t>(payload.size()));
+  }
   charge_own_cpu();
   const int world_dest = to_world(dest);
   bool duplicate = false;
@@ -82,15 +107,26 @@ void Communicator::send(int dest, int tag, Buffer payload) {
     if (const auto rule = faults->on_operation(FaultOp::kSend, world_rank_, world_dest, tag)) {
       switch (rule->action) {
         case FaultAction::kKillRank:
+          if (obs::trace_enabled()) {
+            obs::TraceCollector::instance().instant("fault.kill", "fault", {{"tag", tag}});
+          }
           // Mark dead *before* unwinding so peers' timed receives resolve
           // immediately instead of waiting out their full deadline.
           world_.mark_rank_dead(world_rank_);
           throw detail::RankKilled{world_rank_};
         case FaultAction::kDrop:
+          if (obs::trace_enabled()) {
+            obs::TraceCollector::instance().instant(
+                "fault.drop", "fault",
+                {{"tag", tag}, {"bytes", static_cast<std::int64_t>(payload.size())}});
+          }
           // The NIC "sent" it; it just never arrives.
           state_->bytes_sent += payload.size();
           return;
         case FaultAction::kDelay:
+          if (obs::trace_enabled()) {
+            obs::TraceCollector::instance().instant("fault.delay", "fault", {{"tag", tag}});
+          }
           std::this_thread::sleep_for(std::chrono::duration<double>(rule->delay_seconds));
           state_->vclock += rule->delay_seconds;
           break;
@@ -106,6 +142,13 @@ void Communicator::send(int dest, int tag, Buffer payload) {
   e.tag = tag;
   e.vtime = state_->vclock;
   e.payload = std::move(payload);
+  if (obs::trace_enabled()) {
+    // The flow arrow starts inside this send span and ends inside the
+    // matching recv span on the destination rank (deliver()).
+    auto& tc = obs::TraceCollector::instance();
+    e.flow_id = tc.next_flow_id();
+    tc.flow_start("msg", "mpi", e.flow_id);
+  }
   if (duplicate) {
     Envelope copy = e;
     copy.payload = e.payload;
@@ -121,9 +164,15 @@ void Communicator::inject_recv_faults(int world_source, int tag) {
   if (const auto rule = faults->on_operation(FaultOp::kRecv, world_rank_, peer, tag)) {
     switch (rule->action) {
       case FaultAction::kKillRank:
+        if (obs::trace_enabled()) {
+          obs::TraceCollector::instance().instant("fault.kill", "fault", {{"tag", tag}});
+        }
         world_.mark_rank_dead(world_rank_);
         throw detail::RankKilled{world_rank_};
       case FaultAction::kDelay:
+        if (obs::trace_enabled()) {
+          obs::TraceCollector::instance().instant("fault.delay", "fault", {{"tag", tag}});
+        }
         std::this_thread::sleep_for(std::chrono::duration<double>(rule->delay_seconds));
         state_->vclock += rule->delay_seconds;
         break;
@@ -141,24 +190,34 @@ Buffer Communicator::deliver(Envelope e, int* actual_source, int* actual_tag) {
   if (arrival > state_->vclock) state_->vclock = arrival;
   if (actual_source != nullptr) *actual_source = from_world(e.source);
   if (actual_tag != nullptr) *actual_tag = e.tag;
+  if (e.flow_id != 0 && obs::trace_enabled()) {
+    obs::TraceCollector::instance().flow_end("msg", "mpi", e.flow_id);
+  }
   // Blocking in receive costs no CPU, so reset the CPU baseline here.
   state_->last_cpu = thread_cpu_seconds();
   return std::move(e.payload);
 }
 
 Buffer Communicator::recv(int source, int tag, int* actual_source, int* actual_tag) {
+  obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
   charge_own_cpu();
   const int world_source = source == kAnySource ? kAnySource : to_world(source);
   inject_recv_faults(world_source, tag);
+  const bool measure = obs::metrics_enabled();
+  const auto wait_start = std::chrono::steady_clock::now();
   Envelope e = world_.mailbox(world_rank_).receive(world_source, tag);
+  if (measure) observe_recv_wait(wait_start);
+  span.arg("bytes", static_cast<std::int64_t>(e.payload.size()));
   return deliver(std::move(e), actual_source, actual_tag);
 }
 
 Buffer Communicator::recv_timeout(int source, int tag, double timeout_seconds, int* actual_source,
                                   int* actual_tag) {
+  obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
   charge_own_cpu();
   const int world_source = source == kAnySource ? kAnySource : to_world(source);
   inject_recv_faults(world_source, tag);
+  const bool measure = obs::metrics_enabled();
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                                     std::chrono::duration<double>(timeout_seconds));
@@ -169,13 +228,23 @@ Buffer Communicator::recv_timeout(int source, int tag, double timeout_seconds, i
     // A message already queued always wins, even from a freshly dead peer:
     // its data was on the wire before the death.
     if (auto e = box.try_receive(world_source, tag)) {
+      if (measure) observe_recv_wait(start);
+      span.arg("bytes", static_cast<std::int64_t>(e->payload.size()));
       return deliver(std::move(*e), actual_source, actual_tag);
     }
     if (world_source != kAnySource && world_.rank_dead(world_source)) {
+      if (obs::trace_enabled()) {
+        obs::TraceCollector::instance().instant("peer_unreachable", "fault",
+                                                {{"source", source}, {"tag", tag}});
+      }
       state_->last_cpu = thread_cpu_seconds();
       throw PeerUnreachable(source, tag, waited, "peer rank is dead");
     }
     if (now >= deadline) {
+      if (obs::trace_enabled()) {
+        obs::TraceCollector::instance().instant("peer_unreachable", "fault",
+                                                {{"source", source}, {"tag", tag}});
+      }
       state_->last_cpu = thread_cpu_seconds();
       throw PeerUnreachable(source, tag, waited, "timed out waiting for message");
     }
@@ -185,6 +254,8 @@ Buffer Communicator::recv_timeout(int source, int tag, double timeout_seconds, i
         deadline - now, std::chrono::milliseconds(5));
     if (auto e = box.receive_for(world_source, tag,
                                  std::chrono::duration_cast<std::chrono::nanoseconds>(slice))) {
+      if (measure) observe_recv_wait(start);
+      span.arg("bytes", static_cast<std::int64_t>(e->payload.size()));
       return deliver(std::move(*e), actual_source, actual_tag);
     }
   }
@@ -208,6 +279,9 @@ std::optional<Buffer> Communicator::try_recv(int source, int tag, int* actual_so
   const int world_source = source == kAnySource ? kAnySource : to_world(source);
   auto e = world_.mailbox(world_rank_).try_receive(world_source, tag);
   if (!e) return std::nullopt;
+  if (e->flow_id != 0 && obs::trace_enabled()) {
+    obs::TraceCollector::instance().flow_end("msg", "mpi", e->flow_id);
+  }
   const double arrival = e->vtime + world_.network().transfer_seconds(e->payload.size());
   if (arrival > state_->vclock) state_->vclock = arrival;
   if (actual_source != nullptr) *actual_source = from_world(e->source);

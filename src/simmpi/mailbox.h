@@ -23,6 +23,7 @@ struct Envelope {
   int tag = 0;
   double vtime = 0.0;
   Buffer payload;
+  std::uint64_t flow_id = 0;  ///< nonzero links send→recv trace flow events
 };
 
 /// MPMC queue with MPI-style (source, tag) matching.  Matching is FIFO

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace smart::simmpi {
 
 namespace {
@@ -23,6 +26,13 @@ void World::mark_rank_dead(int rank) {
   {
     std::lock_guard<std::mutex> lock(dead_mu_);
     dead_.at(static_cast<std::size_t>(rank)) = true;
+  }
+  if (obs::trace_enabled()) {
+    obs::TraceCollector::instance().instant("rank_dead", "fault", {{"rank", rank}}, rank);
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& deaths = obs::MetricsRegistry::global().counter("simmpi.rank_deaths");
+    deaths.add(1);
   }
   // Blocked timed receivers re-check their peer's liveness on wake-up.
   for (auto& box : mailboxes_) box->poke();
@@ -74,6 +84,9 @@ LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn, Net
   WallTimer wall;
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      // Attribute every trace event this thread records to its rank, so the
+      // exporter's pid=rank lanes line up without simmpi-specific plumbing.
+      obs::ThreadRankGuard rank_guard(r);
       Communicator comm(world, r);
       detail::CurrentGuard guard(&comm);
       try {

@@ -1,0 +1,581 @@
+// Observability subsystem tests: JSON escaping, Chrome-trace export, flow
+// pairing across simmpi ranks, the rank-0 gathers (including a dead rank),
+// metric semantics, and the RunStats dumpers.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <latch>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analytics/histogram.h"
+#include "common/trace.h"
+#include "core/run_stats.h"
+#include "obs/gather.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "simmpi/fault.h"
+#include "simmpi/world.h"
+
+namespace {
+
+using namespace smart;
+
+// --- a strict little JSON validator (no third-party parser in the image) ---
+
+class MiniJson {
+ public:
+  explicit MiniJson(std::string_view text) : s_(text) {}
+
+  /// True iff the whole input is exactly one valid JSON value.
+  bool valid() {
+    pos_ = 0;
+    const bool ok = value();
+    ws();
+    return ok && pos_ == s_.size();
+  }
+
+  /// Decodes one quoted JSON string ("..." including the quotes).
+  static std::optional<std::string> decode_string(std::string_view quoted) {
+    MiniJson p(quoted);
+    std::string out;
+    if (!p.string(&out) || p.pos_ != quoted.size()) return std::nullopt;
+    return out;
+  }
+
+ private:
+  void ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool lit(std::string_view w) {
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  bool value() {
+    ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string(nullptr);
+      case 't':
+        return lit("true");
+      case 'f':
+        return lit("false");
+      case 'n':
+        return lit("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      ws();
+      if (!string(nullptr)) return false;
+      ws();
+      if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+      if (!value()) return false;
+      ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c != '\\') {
+        if (out != nullptr) out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          if (out != nullptr) out->push_back(e);
+          break;
+        case 'b':
+          if (out != nullptr) out->push_back('\b');
+          break;
+        case 'f':
+          if (out != nullptr) out->push_back('\f');
+          break;
+        case 'n':
+          if (out != nullptr) out->push_back('\n');
+          break;
+        case 'r':
+          if (out != nullptr) out->push_back('\r');
+          break;
+        case 't':
+          if (out != nullptr) out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // The escaper only emits \u for ASCII control chars, so a 1-byte
+          // decode is enough for the round-trip tests.
+          if (out != nullptr && cp < 0x80) out->push_back(static_cast<char>(cp));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return digits && pos_ > start;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+/// RAII reset of the process-global trace/metrics state around a test.
+struct ObsTestGuard {
+  ObsTestGuard() {
+    obs::TraceCollector::instance().set_enabled(false);
+    obs::TraceCollector::instance().clear();
+    obs::set_metrics_enabled(false);
+  }
+  ~ObsTestGuard() {
+    obs::TraceCollector::instance().set_enabled(false);
+    obs::TraceCollector::instance().clear();
+    obs::set_metrics_enabled(false);
+  }
+};
+
+// --- JSON escaping ---------------------------------------------------------
+
+TEST(JsonEscape, EscapesSpecialCharacters) {
+  EXPECT_EQ(obs::json_escape("plain text 123"), "plain text 123");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(obs::json_escape("\b\f"), "\\b\\f");
+  EXPECT_EQ(obs::json_escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(JsonEscape, RoundTripsThroughAParser) {
+  const std::string nasty = "q\"uote b\\ack\nnew\tline\r\b\f ctrl:\x02 end";
+  const std::string quoted = "\"" + obs::json_escape(nasty) + "\"";
+  const auto decoded = MiniJson::decode_string(quoted);
+  ASSERT_TRUE(decoded.has_value()) << quoted;
+  EXPECT_EQ(*decoded, nasty);
+}
+
+// --- trace collection and export -------------------------------------------
+
+TEST(TraceCollector, DisabledRecordsNothing) {
+  ObsTestGuard guard;
+  auto& tc = obs::TraceCollector::instance();
+  ASSERT_FALSE(obs::trace_enabled());
+  tc.instant("ignored", "test");
+  { obs::TraceSpan span("ignored_span", "test", {{"k", 1}}); }
+  EXPECT_TRUE(tc.snapshot_events().empty());
+  EXPECT_EQ(tc.dropped_events(), 0u);
+}
+
+TEST(TraceCollector, RingOverwritesOldestAndCountsDrops) {
+  ObsTestGuard guard;
+  auto& tc = obs::TraceCollector::instance();
+  tc.set_ring_capacity(4);
+  tc.set_enabled(true);
+  // A fresh thread gets the small ring (existing threads keep theirs).
+  std::thread recorder([&tc] {
+    for (int i = 0; i < 6; ++i) tc.instant("e", "test", {{"i", i}});
+  });
+  recorder.join();
+  tc.set_enabled(false);
+  tc.set_ring_capacity(std::size_t{1} << 15);  // restore for later tests
+
+  const auto events = tc.snapshot_events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(tc.dropped_events(), 2u);
+  EXPECT_EQ(events.front().arg_val[0], 2);  // 0 and 1 were overwritten
+  EXPECT_EQ(events.back().arg_val[0], 5);
+}
+
+TEST(TraceExport, NastyNamesStillProduceValidJson) {
+  ObsTestGuard guard;
+  auto& tc = obs::TraceCollector::instance();
+  tc.set_enabled(true);
+  tc.instant("quote\" back\\slash \nnewline", "cat\"egory", {{"k", 7}});
+  tc.complete("span\tname", "test", tc.now_us(), 12.5, {{"a", 1}, {"b", 2}});
+  tc.set_enabled(false);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, tc.snapshot_events());
+  const std::string json = os.str();
+  EXPECT_TRUE(MiniJson(json).valid()) << json;
+  EXPECT_NE(json.find("quote\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\nnewline"), std::string::npos);
+}
+
+TEST(TraceExport, EventsSerializeRoundTrip) {
+  obs::TraceEvent e;
+  e.type = obs::TraceEvent::Type::kFlowStart;
+  e.rank = 3;
+  e.tid = 7;
+  e.ts_us = 1234.5;
+  e.dur_us = 6.25;
+  e.flow_id = 42;
+  e.name = "msg";
+  e.cat = "mpi";
+  e.num_args = 2;
+  e.arg_key[0] = "tag";
+  e.arg_val[0] = 9;
+  e.arg_key[1] = "bytes";
+  e.arg_val[1] = 512;
+
+  Buffer buf;
+  Writer w(buf);
+  obs::serialize_events(w, {e});
+  Reader r(buf);
+  const auto back = obs::deserialize_events(r);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].type, e.type);
+  EXPECT_EQ(back[0].rank, e.rank);
+  EXPECT_EQ(back[0].tid, e.tid);
+  EXPECT_DOUBLE_EQ(back[0].ts_us, e.ts_us);
+  EXPECT_DOUBLE_EQ(back[0].dur_us, e.dur_us);
+  EXPECT_EQ(back[0].flow_id, e.flow_id);
+  EXPECT_EQ(back[0].name, e.name);
+  EXPECT_EQ(back[0].cat, e.cat);
+  ASSERT_EQ(back[0].num_args, 2);
+  EXPECT_EQ(back[0].arg_key[1], "bytes");
+  EXPECT_EQ(back[0].arg_val[1], 512);
+}
+
+TEST(TraceFlow, SendRecvPairsAcrossRanks) {
+  ObsTestGuard guard;
+  auto& tc = obs::TraceCollector::instance();
+  tc.set_enabled(true);
+  simmpi::launch(2, [](simmpi::Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, Buffer{std::byte{1}});
+    } else {
+      (void)comm.recv(0, 7);
+    }
+  });
+  tc.set_enabled(false);
+
+  const auto events = tc.snapshot_events();
+  std::set<std::uint64_t> starts_on_rank0, ends_on_rank1;
+  bool send_span_rank0 = false, recv_span_rank1 = false;
+  for (const auto& e : events) {
+    if (e.type == obs::TraceEvent::Type::kFlowStart && e.rank == 0) starts_on_rank0.insert(e.flow_id);
+    if (e.type == obs::TraceEvent::Type::kFlowEnd && e.rank == 1) ends_on_rank1.insert(e.flow_id);
+    if (e.type == obs::TraceEvent::Type::kComplete && e.name == "send" && e.rank == 0) {
+      send_span_rank0 = true;
+    }
+    if (e.type == obs::TraceEvent::Type::kComplete && e.name == "recv" && e.rank == 1) {
+      recv_span_rank1 = true;
+    }
+  }
+  EXPECT_TRUE(send_span_rank0);
+  EXPECT_TRUE(recv_span_rank1);
+  // At least one flow arrow starts on rank 0 and lands on rank 1 with the
+  // same nonzero id.
+  bool paired = false;
+  for (const std::uint64_t id : starts_on_rank0) {
+    if (id != 0 && ends_on_rank1.count(id) > 0) paired = true;
+  }
+  EXPECT_TRUE(paired);
+}
+
+TEST(TraceGather, MergedFileContainsEveryRank) {
+  ObsTestGuard guard;
+  obs::TraceCollector::instance().set_enabled(true);
+  const std::string path = "/tmp/smart_test_obs_trace.json";
+  simmpi::launch(4, [&](simmpi::Communicator& comm) {
+    obs::TraceCollector::instance().instant("tick", "test", {{"rank", comm.rank()}});
+    std::vector<int> missing;
+    EXPECT_TRUE(obs::gather_trace_to_rank0(comm, path, 5.0, &missing));
+    if (comm.rank() == 0) EXPECT_TRUE(missing.empty());
+  });
+  obs::TraceCollector::instance().set_enabled(false);
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_TRUE(MiniJson(json).valid());
+  EXPECT_NE(json.find("\"tick\""), std::string::npos);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NE(json.find("\"rank " + std::to_string(r) + "\""), std::string::npos)
+        << "rank " << r << " missing from merged trace";
+  }
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(Metrics, DisabledUpdatesAreNoops) {
+  ObsTestGuard guard;
+  obs::Counter c;
+  obs::Gauge g;
+  obs::FixedHistogram h({1.0});
+  c.add(5);
+  g.set(3.0);
+  g.update_max(9.0);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(FixedHistogram, InclusiveUpperBoundsAndOverflow) {
+  ObsTestGuard guard;
+  obs::set_metrics_enabled(true);
+  obs::FixedHistogram h({1.0, 10.0});
+  ASSERT_EQ(h.num_buckets(), 3u);
+  h.observe(0.5);    // <= 1      -> bucket 0
+  h.observe(1.0);    // == bound  -> bucket 0 (inclusive)
+  h.observe(1.001);  // > 1       -> bucket 1
+  h.observe(10.0);   // == bound  -> bucket 1 (inclusive)
+  h.observe(10.5);   // > last    -> overflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 23.001, 1e-9);
+}
+
+TEST(MetricsSnapshot, MergeSumsCountersMaxesGauges) {
+  obs::MetricsSnapshot a;
+  a.counters["msgs"] = 3;
+  a.gauges["peak"] = 2.0;
+  a.histograms.push_back({"lat", {1.0, 2.0}, {1, 0, 2}, 3, 7.0});
+
+  obs::MetricsSnapshot b;
+  b.counters["msgs"] = 4;
+  b.counters["only_b"] = 1;
+  b.gauges["peak"] = 5.0;
+  b.histograms.push_back({"lat", {1.0, 2.0}, {0, 2, 1}, 3, 9.0});
+  // Same name, different bounds: must stay a separate entry, not mis-sum.
+  b.histograms.push_back({"lat", {8.0}, {1, 0}, 1, 4.0});
+
+  a.merge(b);
+  EXPECT_EQ(a.counters["msgs"], 7);
+  EXPECT_EQ(a.counters["only_b"], 1);
+  EXPECT_EQ(a.gauges["peak"], 5.0);
+  EXPECT_EQ(a.ranks_merged, 2);
+  ASSERT_EQ(a.histograms.size(), 2u);
+  EXPECT_EQ(a.histograms[0].buckets, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(a.histograms[0].count, 6u);
+  EXPECT_DOUBLE_EQ(a.histograms[0].sum, 16.0);
+  EXPECT_EQ(a.histograms[1].bounds, (std::vector<double>{8.0}));
+}
+
+TEST(MetricsSnapshot, SerializeRoundTripAndValidJson) {
+  obs::MetricsSnapshot snap;
+  snap.counters["c"] = 11;
+  snap.gauges["g"] = 2.5;
+  snap.histograms.push_back({"h", {1.0}, {4, 2}, 6, 8.5});
+  snap.ranks_merged = 3;
+  snap.missing_ranks = {2};
+
+  Buffer buf;
+  Writer w(buf);
+  snap.serialize(w);
+  Reader r(buf);
+  const auto back = obs::MetricsSnapshot::deserialize(r);
+  EXPECT_EQ(back.counters.at("c"), 11);
+  EXPECT_DOUBLE_EQ(back.gauges.at("g"), 2.5);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms[0].buckets, (std::vector<std::uint64_t>{4, 2}));
+  EXPECT_EQ(back.ranks_merged, 3);
+  EXPECT_EQ(back.missing_ranks, (std::vector<int>{2}));
+
+  std::ostringstream js;
+  back.dump_json(js);
+  EXPECT_TRUE(MiniJson(js.str()).valid()) << js.str();
+  std::ostringstream txt;
+  back.dump_text(txt);
+  EXPECT_NE(txt.str().find("c"), std::string::npos);
+}
+
+TEST(MetricsGather, DeadRankIsReportedMissingNotHung) {
+  ObsTestGuard guard;
+  obs::set_metrics_enabled(true);
+  auto faults = std::make_shared<simmpi::FaultInjector>();
+  // Rank 2 dies on its first send — which is its gather contribution.
+  faults->add_rule({.op = simmpi::FaultOp::kSend,
+                    .rank = 2,
+                    .action = simmpi::FaultAction::kKillRank,
+                    .max_fires = 1});
+  simmpi::launch(
+      3,
+      [](simmpi::Communicator& comm) {
+        obs::MetricsRegistry local;
+        local.counter("test.rank_weight").add(comm.rank() + 1);
+        const auto snap = obs::gather_metrics_to_rank0(comm, local, /*timeout_seconds=*/1.0);
+        if (comm.rank() == 0) {
+          EXPECT_EQ(snap.ranks_merged, 2);  // ranks 0 and 1 reported
+          EXPECT_EQ(snap.missing_ranks, (std::vector<int>{2}));
+          EXPECT_EQ(snap.counters.at("test.rank_weight"), 1 + 2);
+          std::ostringstream js;
+          snap.dump_json(js);
+          EXPECT_TRUE(MiniJson(js.str()).valid()) << js.str();
+          EXPECT_NE(js.str().find("missing_ranks"), std::string::npos);
+        }
+      },
+      {}, faults);
+}
+
+// --- RunStats dumpers ------------------------------------------------------
+
+TEST(RunStats, JsonAndCsvDumpersAgree) {
+  RunStats rs;
+  rs.runs = 3;
+  rs.wire_bytes = 123;
+  rs.codec_seconds = 0.5;
+  rs.ranks_lost = 1;
+
+  std::ostringstream js;
+  rs.dump_json(js);
+  EXPECT_TRUE(MiniJson(js.str()).valid()) << js.str();
+  EXPECT_NE(js.str().find("\"wire_bytes\": 123"), std::string::npos);
+  EXPECT_NE(js.str().find("\"ranks_lost\": 1"), std::string::npos);
+
+  std::ostringstream header, row;
+  RunStats::csv_header(header);
+  rs.dump_csv_row(row);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header.str()), commas(row.str()));
+  EXPECT_GE(commas(header.str()), 20);  // all 21 fields present
+  EXPECT_NE(header.str().find("wire_bytes"), std::string::npos);
+  EXPECT_EQ(header.str().back(), '\n');
+  EXPECT_EQ(row.str().back(), '\n');
+}
+
+// --- scheduler phase-tracer wiring -----------------------------------------
+
+TEST(PhaseTracer, SchedulerRecordsPhasesInto) {
+  PhaseTracer tracer;
+  analytics::Histogram<double> hist(SchedArgs(2, 1), 0.0, 1.0, 16);
+  hist.set_phase_tracer(&tracer);
+  std::vector<double> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>(i) / static_cast<double>(data.size());
+  }
+  hist.run(data.data(), data.size(), nullptr, 0);
+
+  std::set<std::string> phases;
+  for (const auto& e : tracer.events()) phases.insert(e.phase);
+  EXPECT_TRUE(phases.count("reduction") > 0) << "phases recorded: " << phases.size();
+  EXPECT_TRUE(phases.count("local_combine") > 0);
+
+  std::ostringstream csv;
+  tracer.dump_csv(csv);
+  EXPECT_NE(csv.str().find("phase,thread,begin_s,end_s,duration_s"), std::string::npos);
+  EXPECT_NE(csv.str().find("reduction"), std::string::npos);
+}
+
+TEST(PhaseTracer, DenseThreadIdsAreDenseAcrossConcurrentThreads) {
+  PhaseTracer tracer;
+  // Three concurrently-live threads (the latch keeps them alive together, so
+  // std::thread::id cannot be recycled): dense ids must come out {0, 1, 2}.
+  std::latch ready(3);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&tracer, &ready] {
+      ready.arrive_and_wait();
+      auto s = tracer.scope("work");
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<std::size_t> ids;
+  for (const auto& e : tracer.events()) ids.insert(e.thread_id);
+  EXPECT_EQ(ids, (std::set<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
