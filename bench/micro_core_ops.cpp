@@ -4,6 +4,8 @@
 // costs of representative analytics.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "analytics/histogram.h"
 #include "analytics/moving_average.h"
 #include "analytics/red_objs.h"
@@ -41,6 +43,122 @@ void BM_ReductionMapAccumulate(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(i));
 }
 BENCHMARK(BM_ReductionMapAccumulate)->Arg(100)->Arg(1200)->Arg(10000);
+
+void BM_LegacyStdMapAccumulate(benchmark::State& state) {
+  // The structure CombinationMap replaced — the same accumulate loop over a
+  // std::map (red-black tree) — kept as the before side of the flat-map
+  // comparison recorded in BENCH_core.json.
+  register_red_objs();
+  std::map<int, std::unique_ptr<RedObj>> map;
+  const auto keys = static_cast<int>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const int key = static_cast<int>(i++ % static_cast<std::size_t>(keys));
+    auto& slot = map[key];
+    if (!slot) slot = std::make_unique<Bucket>();
+    static_cast<Bucket&>(*slot).count += 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_LegacyStdMapAccumulate)->Arg(100)->Arg(1200)->Arg(10000);
+
+void BM_CombinationMapInsert(benchmark::State& state) {
+  // Cold-map seeding cost: N fresh inserts (hash + append) per iteration.
+  register_red_objs();
+  const int keys = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CombinationMap map;
+    for (int k = 0; k < keys; ++k) map.emplace(k, std::make_unique<Bucket>());
+    benchmark::DoNotOptimize(map);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * keys);
+}
+BENCHMARK(BM_CombinationMapInsert)->Arg(100)->Arg(10000);
+
+void BM_LegacyStdMapInsert(benchmark::State& state) {
+  register_red_objs();
+  const int keys = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::map<int, std::unique_ptr<RedObj>> map;
+    for (int k = 0; k < keys; ++k) map.emplace(k, std::make_unique<Bucket>());
+    benchmark::DoNotOptimize(map);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * keys);
+}
+BENCHMARK(BM_LegacyStdMapInsert)->Arg(100)->Arg(10000);
+
+void BM_MapCodec(benchmark::State& state) {
+  // Wire-format comparison: v1 (per-entry type-name strings, per-entry
+  // registry locks) vs v2 (interned type table, varint indices, per-type
+  // factory resolution).  The wire_bytes counter shows the payload-size
+  // drop that RUNSTATS wire_bytes lines inherit.
+  register_red_objs();
+  const bool v1 = state.range(0) != 0;
+  CombinationMap map;
+  for (int k = 0; k < state.range(1); ++k) {
+    auto b = std::make_unique<Bucket>();
+    b->count = static_cast<std::size_t>(k);
+    map.emplace(k, std::move(b));
+  }
+  std::size_t wire_bytes = 0;
+  for (auto _ : state) {
+    Buffer buf;
+    if (v1) {
+      serialize_map_v1(map, buf);
+    } else {
+      serialize_map(map, buf);
+    }
+    wire_bytes = buf.size();
+    benchmark::DoNotOptimize(deserialize_map(buf));
+  }
+  state.SetLabel(v1 ? "v1" : "v2");
+  state.counters["wire_bytes"] = benchmark::Counter(static_cast<double>(wire_bytes));
+}
+BENCHMARK(BM_MapCodec)->Args({1, 100})->Args({0, 100})->Args({1, 10000})->Args({0, 10000});
+
+void BM_LocalCombine(benchmark::State& state) {
+  // The scheduler's local-combination phase in isolation: 8 worker maps of
+  // N buckets each fold into one, serially (worker-after-worker, the old
+  // path) or as the pool's binomial merge tree (parallel_local_combine).
+  register_red_objs();
+  const bool parallel = state.range(0) != 0;
+  const int keys = static_cast<int>(state.range(1));
+  constexpr int kWorkers = 8;
+  ThreadPool pool(kWorkers);
+  const MergeFn merge = [](const RedObj& red, std::unique_ptr<RedObj>& com) {
+    static_cast<Bucket&>(*com).count += static_cast<const Bucket&>(red).count;
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<CombinationMap> maps(kWorkers);
+    for (auto& m : maps) {
+      for (int k = 0; k < keys; ++k) {
+        auto b = std::make_unique<Bucket>();
+        b->count = 1;
+        m.emplace(k, std::move(b));
+      }
+    }
+    state.ResumeTiming();
+    if (parallel) {
+      for (std::size_t dist = 1; dist < kWorkers; dist *= 2) {
+        pool.parallel_region([&](int w) {
+          const auto uw = static_cast<std::size_t>(w);
+          if (uw % (2 * dist) != 0) return;
+          const std::size_t src = uw + dist;
+          if (src >= kWorkers) return;
+          merge_map_into(std::move(maps[src]), maps[uw], merge);
+        });
+      }
+      benchmark::DoNotOptimize(maps[0]);
+    } else {
+      CombinationMap fresh;
+      for (auto& m : maps) merge_map_into(std::move(m), fresh, merge);
+      benchmark::DoNotOptimize(fresh);
+    }
+  }
+  state.SetLabel(parallel ? "parallel" : "serial");
+}
+BENCHMARK(BM_LocalCombine)->Args({0, 512})->Args({1, 512})->Args({0, 8192})->Args({1, 8192});
 
 void BM_MapSerializeRoundTrip(benchmark::State& state) {
   // The global-combination cost unit: serialize + deserialize a map.

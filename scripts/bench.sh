@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the core microbenchmarks and records them as BENCH_core.json at the
+# repo root — the benchmark trajectory the perf work is judged against.
+#
+#   scripts/bench.sh              # full core-ops sweep -> BENCH_core.json
+#   scripts/bench.sh out.json     # same, custom output path
+#
+# The sweep covers the reduction hot path and its before/after pairs:
+#   * BM_ReductionMapAccumulate vs BM_LegacyStdMapAccumulate — the flat
+#     CombinationMap against the std::map it replaced;
+#   * BM_CombinationMapInsert vs BM_LegacyStdMapInsert — cold seeding;
+#   * BM_MapCodec — wire-format v2 (interned types) vs legacy v1, with a
+#     wire_bytes counter per size;
+#   * BM_LocalCombine — serial vs pool-parallel local combination;
+#   * BM_MapSerializeRoundTrip / BM_MapCombineAlgorithms — the codec and
+#     tree/ring crossover benches the combiner defaults come from.
+#
+# Numbers are container-relative; compare runs from the same machine only.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+out="${1:-$repo/BENCH_core.json}"
+
+filter='BM_ReductionMapAccumulate|BM_LegacyStdMapAccumulate|BM_CombinationMapInsert|BM_LegacyStdMapInsert|BM_MapCodec|BM_LocalCombine|BM_MapSerializeRoundTrip|BM_MapCombineAlgorithms'
+
+echo "== bench: build =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs" --target micro_core_ops
+
+echo "== bench: run (filter: core map/codec/combine) =="
+"$repo/build/bench/micro_core_ops" \
+  --benchmark_filter="$filter" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.05
+
+python3 -m json.tool "$out" >/dev/null
+echo "== bench: wrote $out =="

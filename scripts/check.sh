@@ -62,16 +62,29 @@ print(f"   trace ok: {len(events)} events, span ranks {sorted(span_ranks)}, "
       f"{len(starts & ends)} matched flow pair(s)")
 EOF
 
+echo "== tier-1: bench smoke =="
+# The core microbenches must run and emit parseable JSON (scripts/bench.sh
+# is the full sweep; this is just a liveness check on one fast filter).
+bench_json="$repo/build/check_bench.json"
+"$repo/build/bench/micro_core_ops" \
+  --benchmark_filter='BM_ReductionMapAccumulate|BM_MapCodec' \
+  --benchmark_min_time=0.01 \
+  --benchmark_out="$bench_json" --benchmark_out_format=json >/dev/null
+python3 -m json.tool "$bench_json" >/dev/null
+echo "   bench smoke ok"
+
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tsan: build test_threading + test_space_sharing + test_obs =="
+  echo "== tsan: build test_threading + test_space_sharing + test_obs + test_combination_map =="
   cmake -B "$repo/build-tsan" -S "$repo" -DSMART_SANITIZE=thread \
     -DSMART_BUILD_BENCHES=OFF -DSMART_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build "$repo/build-tsan" -j "$jobs" --target test_threading test_space_sharing test_obs
+  cmake --build "$repo/build-tsan" -j "$jobs" \
+    --target test_threading test_space_sharing test_obs test_combination_map
 
   echo "== tsan: run =="
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_threading"
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_space_sharing"
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_obs"
+  TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_combination_map"
 fi
 
 if [[ "$run_asan" == 1 ]]; then

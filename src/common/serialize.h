@@ -70,6 +70,18 @@ class Writer {
     write_bytes(s.data(), s.size());
   }
 
+  /// LEB128 variable-length unsigned integer: 1 byte for values < 128,
+  /// growing 7 bits per byte.  The map wire format v2 uses this for its
+  /// per-entry interned-type indices, which are almost always < 128 —
+  /// one byte instead of a repeated length-prefixed type-name string.
+  void write_varint(std::uint64_t value) {
+    while (value >= 0x80) {
+      write<std::uint8_t>(static_cast<std::uint8_t>(value) | 0x80);
+      value >>= 7;
+    }
+    write<std::uint8_t>(static_cast<std::uint8_t>(value));
+  }
+
   /// Length-prefixed span of trivially-copyable elements.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
@@ -116,6 +128,19 @@ class Reader {
     std::string s(n, '\0');
     read_bytes(s.data(), n);
     return s;
+  }
+
+  /// Reads a Writer::write_varint value; rejects encodings longer than the
+  /// 10 bytes a u64 can need (a corrupt continuation-bit run would
+  /// otherwise shift past the value's width).
+  std::uint64_t read_varint() {
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const auto byte = read<std::uint8_t>();
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+    }
+    throw std::out_of_range("smart::Reader: varint longer than 10 bytes");
   }
 
   template <typename T>

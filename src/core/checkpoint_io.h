@@ -12,6 +12,12 @@
 //     against the file's actual remaining length (rejecting truncation and
 //     trailing garbage alike) *before* allocating, so a corrupt header is
 //     a diagnosable error instead of a std::bad_alloc.
+//
+// The snapshot payload is opaque at this layer.  For scheduler checkpoints
+// it is a serialized combination map, whose own wire format is self-
+// describing (core/red_obj.h): maps written before the v2 interned-type
+// codec decode through the same load path, so old checkpoint files stay
+// loadable without a checkpoint version bump.
 #pragma once
 
 #include <cstdint>

@@ -211,6 +211,14 @@ void MapCombiner::ring_allreduce(simmpi::Communicator& comm, CombinationMap& map
   const auto mod = [n](int x) { return ((x % n) + n) % n; };
   stats.used_ring = true;
 
+  // Segment index: one O(keys) pass buckets every key into its segment's
+  // ordered list, so each of the n-1 encode steps below walks only the
+  // keys it ships — the round's total encode scan is O(keys), not
+  // O(keys × segments) as when serialize_map_segment rescans the whole
+  // map per step.  absorb_segment keeps the index consistent as incoming
+  // payloads insert keys this rank had never seen.
+  seg_index_.build(map, n);
+
   // Reduce-scatter over key segments: at step s this rank ships its
   // partially merged segment (rank - s) and folds the incoming segment
   // (rank - s - 1) into its live map.  After n-1 steps segment (rank + 1)
@@ -220,7 +228,7 @@ void MapCombiner::ring_allreduce(simmpi::Communicator& comm, CombinationMap& map
   for (int step = 0; step < n - 1; ++step) {
     ThreadCpuTimer encode;
     wire_.clear();
-    serialize_map_segment(map, mod(rank - step), n, wire_);
+    seg_index_.serialize_segment(map, mod(rank - step), wire_);
     stats.codec_seconds += encode.seconds();
     stats.bytes_encoded += wire_.size();
     comm.send(right, kRingReduceTag - step, std::move(wire_));
@@ -228,17 +236,19 @@ void MapCombiner::ring_allreduce(simmpi::Communicator& comm, CombinationMap& map
     const Buffer incoming = comm.recv(left, kRingReduceTag - step);
     ThreadCpuTimer decode;
     Reader r(incoming);
-    stats.map_merges += absorb_serialized_map(r, map, merge);
+    stats.map_merges += seg_index_.absorb_segment(r, map, merge, mod(rank - step - 1));
     stats.codec_seconds += decode.seconds();
   }
 
   // Allgather: circulate the finished segments.  Only the first payload is
   // encoded; every later step forwards the received bytes verbatim.
   // Incoming entries are the *final* global values for their keys, so they
-  // replace (not merge into) this rank's partial ones.
+  // replace (not merge into) this rank's partial ones.  Nothing is encoded
+  // from the map after this point, so the plain absorb (which leaves the
+  // segment index stale) is fine.
   ThreadCpuTimer encode;
   Buffer circulating;
-  serialize_map_segment(map, mod(rank + 1), n, circulating);
+  seg_index_.serialize_segment(map, mod(rank + 1), circulating);
   stats.codec_seconds += encode.seconds();
   stats.bytes_encoded += circulating.size();
   for (int step = 0; step < n - 1; ++step) {

@@ -122,6 +122,7 @@ class MapCombiner {
   Algorithm algorithm_;
   std::size_t ring_crossover_bytes_;
   Buffer wire_;  ///< reused encode buffer (capacity persists when not shipped)
+  MapSegmentIndex seg_index_;  ///< ring per-round key/segment index (allocations reused)
   std::size_t agreed_footprint_ = 0;  ///< global map footprint after the last round
   bool have_agreed_footprint_ = false;
   int ft_round_ = 0;  ///< fault-tolerant round counter (tag namespace; see begin_recovery_round)

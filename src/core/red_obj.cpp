@@ -4,24 +4,99 @@
 
 namespace smart {
 
+// --- CombinationMap -------------------------------------------------------
+
+void CombinationMap::rehash(std::size_t need) {
+  std::size_t nbuckets = buckets_.empty() ? 16 : buckets_.size();
+  while (capacity_for(nbuckets) < need) nbuckets <<= 1;
+  buckets_.assign(nbuckets, kEmpty);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    place(entries_[i].first, static_cast<std::uint32_t>(i + 1));
+  }
+}
+
+void CombinationMap::sort_and_reindex() const {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  // Every dense index moved; rebuild the probe table in place.
+  std::fill(buckets_.begin(), buckets_.end(), kEmpty);
+  const std::size_t mask = buckets_.size() - 1;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    std::size_t b = bucket_of(entries_[i].first, mask);
+    while (buckets_[b] != kEmpty) b = (b + 1) & mask;
+    buckets_[b] = static_cast<std::uint32_t>(i + 1);
+  }
+  sorted_ = true;
+}
+
+std::size_t CombinationMap::erase(int key) {
+  if (buckets_.empty()) return 0;
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t b = bucket_of(key, mask);
+  for (;; b = (b + 1) & mask) {
+    const std::uint32_t v = buckets_[b];
+    if (v == kEmpty) return 0;
+    if (entries_[v - 1].first == key) break;
+  }
+  const std::size_t idx = buckets_[b] - 1;
+
+  // Backshift deletion: pull every displaced follower in the probe chain
+  // back over the hole so later lookups never hit a false empty.
+  std::size_t hole = b;
+  for (std::size_t k = (b + 1) & mask; buckets_[k] != kEmpty; k = (k + 1) & mask) {
+    const std::size_t home = bucket_of(entries_[buckets_[k] - 1].first, mask);
+    if (((k - home) & mask) >= ((k - hole) & mask)) {
+      buckets_[hole] = buckets_[k];
+      hole = k;
+    }
+  }
+  buckets_[hole] = kEmpty;
+
+  // Swap-remove from the dense vector and repoint the moved entry's bucket.
+  const std::size_t last = entries_.size() - 1;
+  if (idx != last) {
+    entries_[idx] = std::move(entries_[last]);
+    std::size_t bb = bucket_of(entries_[idx].first, mask);
+    while (buckets_[bb] != static_cast<std::uint32_t>(last + 1)) bb = (bb + 1) & mask;
+    buckets_[bb] = static_cast<std::uint32_t>(idx + 1);
+    sorted_ = false;
+  }
+  entries_.pop_back();
+  if (entries_.empty()) sorted_ = true;
+  return 1;
+}
+
+void CombinationMap::throw_missing(int key) {
+  throw std::out_of_range("smart::CombinationMap::at: no entry for key " + std::to_string(key));
+}
+
+// --- RedObjRegistry -------------------------------------------------------
+
 RedObjRegistry& RedObjRegistry::instance() {
   static RedObjRegistry registry;
   return registry;
 }
 
-void RedObjRegistry::register_type(const std::string& name,
-                                   std::function<std::unique_ptr<RedObj>()> factory) {
+void RedObjRegistry::register_type(const std::string& name, Factory factory) {
   std::lock_guard<std::mutex> lock(mu_);
-  factories_[name] = std::move(factory);
+  // First registration wins: find_factory hands out long-lived references,
+  // so an already-published Factory must never be reassigned underneath a
+  // decode loop.  Re-registration (register_red_objs is re-entrant) is a
+  // no-op.
+  factories_.emplace(name, std::move(factory));
 }
 
-std::unique_ptr<RedObj> RedObjRegistry::create(const std::string& name) const {
+const RedObjRegistry::Factory& RedObjRegistry::find_factory(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = factories_.find(name);
   if (it == factories_.end()) {
     throw std::runtime_error("RedObjRegistry: unknown reduction object type '" + name + "'");
   }
-  return it->second();
+  return it->second;
+}
+
+std::unique_ptr<RedObj> RedObjRegistry::create(const std::string& name) const {
+  return find_factory(name)();
 }
 
 bool RedObjRegistry::contains(const std::string& name) const {
@@ -29,7 +104,93 @@ bool RedObjRegistry::contains(const std::string& name) const {
   return factories_.count(name) != 0;
 }
 
+// --- wire codec -----------------------------------------------------------
+
+namespace {
+
+/// Encode-side type interning: distinct dynamic types in first-appearance
+/// order.  Lookup compares typeid, not type_name(), so interning an
+/// already-seen type costs no string construction; the table stays tiny
+/// (apps run one or two reduction-object types), so linear scan beats a
+/// hash map here.
+struct TypeTable {
+  std::vector<const std::type_info*> infos;
+  std::vector<std::string> names;
+
+  std::uint32_t intern(const RedObj& obj) {
+    const std::type_info& ti = typeid(obj);
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      if (*infos[i] == ti) return static_cast<std::uint32_t>(i);
+    }
+    infos.push_back(&ti);
+    names.push_back(obj.type_name());
+    return static_cast<std::uint32_t>(infos.size() - 1);
+  }
+};
+
+void write_v2_header(Writer& w, const std::vector<std::string>& type_names) {
+  w.write<std::uint64_t>(wire::kMapWireMagicV2);
+  w.write<std::uint8_t>(wire::kMapWireFormatV2);
+  w.write_varint(type_names.size());
+  for (const auto& name : type_names) w.write_string(name);
+}
+
+/// Decoded payload header, either format.  For v2 every factory is
+/// resolved here — one registry lock per distinct type; entries then
+/// index into `factories`.  v1 resolves lazily per type-name run.
+struct WireHeader {
+  bool v2 = false;
+  std::uint64_t count = 0;
+  std::vector<const RedObjRegistry::Factory*> factories;  // v2 only
+};
+
+WireHeader read_map_header(Reader& r) {
+  WireHeader h;
+  const auto lead = r.read<std::uint64_t>();
+  if (lead != wire::kMapWireMagicV2) {
+    // v1: the leading u64 is the entry count itself.
+    h.count = lead;
+    return h;
+  }
+  const auto format = r.read<std::uint8_t>();
+  if (format != wire::kMapWireFormatV2) {
+    throw std::runtime_error("smart: unknown map wire format byte " + std::to_string(format));
+  }
+  const auto ntypes = r.read_varint();
+  // Each table entry is at least a string length prefix.
+  if (ntypes > r.remaining() / sizeof(std::uint64_t)) {
+    throw std::out_of_range("smart: corrupt map wire type count");
+  }
+  auto& registry = RedObjRegistry::instance();
+  h.factories.reserve(ntypes);
+  for (std::uint64_t i = 0; i < ntypes; ++i) {
+    h.factories.push_back(&registry.find_factory(r.read_string()));
+  }
+  h.count = r.read<std::uint64_t>();
+  h.v2 = true;
+  return h;
+}
+
+}  // namespace
+
 void serialize_map(const CombinationMap& map, Buffer& out) {
+  map.ensure_sorted();
+  TypeTable table;
+  for (const auto& [key, obj] : map) {
+    (void)key;
+    table.intern(*obj);
+  }
+  Writer w(out);
+  write_v2_header(w, table.names);
+  w.write<std::uint64_t>(map.size());
+  for (const auto& [key, obj] : map) {
+    w.write<std::int32_t>(key);
+    w.write_varint(table.intern(*obj));
+    obj->serialize(w);
+  }
+}
+
+void serialize_map_v1(const CombinationMap& map, Buffer& out) {
   Writer w(out);
   w.write<std::uint64_t>(map.size());
   for (const auto& [key, obj] : map) {
@@ -41,15 +202,9 @@ void serialize_map(const CombinationMap& map, Buffer& out) {
 
 CombinationMap deserialize_map(Reader& r) {
   CombinationMap map;
-  const auto n = r.read<std::uint64_t>();
-  for (std::uint64_t i = 0; i < n; ++i) {
-    const auto key = r.read<std::int32_t>();
-    const std::string type = r.read_string();
-    std::unique_ptr<RedObj> obj = RedObjRegistry::instance().create(type);
-    obj->deserialize(r);
-    obj->set_key(key);
-    map.emplace(key, std::move(obj));
-  }
+  // First-wins on duplicate keys, matching the emplace semantics the
+  // tree codec always had; the no-op merge still consumes the payload.
+  absorb_serialized_map(r, map, [](const RedObj&, std::unique_ptr<RedObj>&) {});
   return map;
 }
 
@@ -66,31 +221,77 @@ void merge_map_into(CombinationMap&& src, CombinationMap& dst, const MergeFn& me
 }
 
 std::size_t absorb_serialized_map(Reader& r, CombinationMap& dst, const MergeFn& merge,
-                                  bool replace_existing) {
-  const auto n = r.read<std::uint64_t>();
+                                  bool replace_existing, std::vector<int>* inserted_keys) {
+  const WireHeader h = read_map_header(r);
+  // Reserve guard: trust the count only as far as the remaining bytes
+  // could plausibly back it (>= 5 bytes/entry: key + type index).
+  dst.reserve(dst.size() +
+              static_cast<std::size_t>(std::min<std::uint64_t>(h.count, r.remaining() / 5)));
+
+  if (h.v2) {
+    // One scratch decode object per payload type, reused across merged
+    // entries — the merge path allocates nothing after first sight.
+    std::vector<std::unique_ptr<RedObj>> scratch(h.factories.size());
+    for (std::uint64_t i = 0; i < h.count; ++i) {
+      const auto key = r.read<std::int32_t>();
+      const auto idx = r.read_varint();
+      if (idx >= h.factories.size()) {
+        throw std::out_of_range("smart: corrupt map wire type index");
+      }
+      const auto it = dst.find(key);
+      if (it == dst.end() || replace_existing) {
+        std::unique_ptr<RedObj> obj = (*h.factories[idx])();
+        obj->deserialize(r);
+        obj->set_key(key);
+        if (it == dst.end()) {
+          dst.emplace(key, std::move(obj));
+          if (inserted_keys) inserted_keys->push_back(key);
+        } else {
+          it->second = std::move(obj);
+        }
+      } else {
+        auto& s = scratch[idx];
+        if (!s) s = (*h.factories[idx])();
+        s->deserialize(r);
+        s->set_key(key);
+        merge(*s, it->second);
+      }
+    }
+    return h.count;
+  }
+
+  // v1: per-entry type-name strings.  Payloads are overwhelmingly
+  // homogeneous, so caching the last-resolved factory pays the registry
+  // lock once per type *run* instead of once per entry.
   auto& registry = RedObjRegistry::instance();
-  for (std::uint64_t i = 0; i < n; ++i) {
+  std::string cached_name;
+  const RedObjRegistry::Factory* cached = nullptr;
+  for (std::uint64_t i = 0; i < h.count; ++i) {
     const auto key = r.read<std::int32_t>();
-    const std::string type = r.read_string();
+    std::string type = r.read_string();
+    if (cached == nullptr || type != cached_name) {
+      cached = &registry.find_factory(type);
+      cached_name = std::move(type);
+    }
     const auto it = dst.find(key);
     if (it == dst.end() || replace_existing) {
-      std::unique_ptr<RedObj> obj = registry.create(type);
+      std::unique_ptr<RedObj> obj = (*cached)();
       obj->deserialize(r);
       obj->set_key(key);
       if (it == dst.end()) {
-        dst.emplace_hint(it, key, std::move(obj));
+        dst.emplace(key, std::move(obj));
+        if (inserted_keys) inserted_keys->push_back(key);
       } else {
         it->second = std::move(obj);
       }
     } else {
-      // Decode into a scratch object and merge into the live entry.
-      std::unique_ptr<RedObj> scratch = registry.create(type);
-      scratch->deserialize(r);
-      scratch->set_key(key);
-      merge(*scratch, it->second);
+      std::unique_ptr<RedObj> s = (*cached)();
+      s->deserialize(r);
+      s->set_key(key);
+      merge(*s, it->second);
     }
   }
-  return n;
+  return h.count;
 }
 
 int map_segment_of(int key, int nsegments) {
@@ -100,14 +301,24 @@ int map_segment_of(int key, int nsegments) {
 
 std::size_t serialize_map_segment(const CombinationMap& map, int segment, int nsegments,
                                   Buffer& out) {
+  map.ensure_sorted();
+  // Full-map type table (not segment-local) so every segment payload of
+  // one round shares a table layout — and so MapSegmentIndex, which also
+  // interns the whole map, emits byte-identical segments.
+  TypeTable table;
+  for (const auto& [key, obj] : map) {
+    (void)key;
+    table.intern(*obj);
+  }
   Writer w(out);
+  write_v2_header(w, table.names);
   const std::size_t count_pos = w.position();
   w.write<std::uint64_t>(0);  // patched below
   std::uint64_t count = 0;
   for (const auto& [key, obj] : map) {
     if (map_segment_of(key, nsegments) != segment) continue;
     w.write<std::int32_t>(key);
-    w.write_string(obj->type_name());
+    w.write_varint(table.intern(*obj));
     obj->serialize(w);
     ++count;
   }
@@ -115,9 +326,74 @@ std::size_t serialize_map_segment(const CombinationMap& map, int segment, int ns
   return count;
 }
 
+// --- MapSegmentIndex ------------------------------------------------------
+
+std::uint32_t MapSegmentIndex::intern_type(const RedObj& obj) {
+  const std::type_info& ti = typeid(obj);
+  for (std::size_t i = 0; i < type_infos_.size(); ++i) {
+    if (*type_infos_[i] == ti) return static_cast<std::uint32_t>(i);
+  }
+  type_infos_.push_back(&ti);
+  type_names_.push_back(obj.type_name());
+  return static_cast<std::uint32_t>(type_infos_.size() - 1);
+}
+
+void MapSegmentIndex::build(const CombinationMap& map, int nsegments) {
+  nsegments_ = nsegments;
+  seg_keys_.assign(static_cast<std::size_t>(nsegments), {});
+  type_infos_.clear();
+  type_names_.clear();
+  // One key-ordered pass; each per-segment list inherits ascending order.
+  for (const auto& [key, obj] : map) {
+    seg_keys_[static_cast<std::size_t>(map_segment_of(key, nsegments))].push_back(key);
+    intern_type(*obj);
+  }
+}
+
+std::size_t MapSegmentIndex::serialize_segment(const CombinationMap& map, int segment,
+                                               Buffer& out) const {
+  const auto& keys = seg_keys_[static_cast<std::size_t>(segment)];
+  Writer w(out);
+  write_v2_header(w, type_names_);
+  w.write<std::uint64_t>(keys.size());
+  for (const int key : keys) {
+    const auto it = map.find(key);
+    const RedObj& obj = *it->second;
+    const std::type_info& ti = typeid(obj);
+    std::uint32_t idx = 0;
+    while (*type_infos_[idx] != ti) ++idx;  // interned at build/absorb time
+    w.write<std::int32_t>(key);
+    w.write_varint(idx);
+    obj.serialize(w);
+  }
+  return keys.size();
+}
+
+std::size_t MapSegmentIndex::absorb_segment(Reader& r, CombinationMap& dst, const MergeFn& merge,
+                                            int segment, bool replace_existing) {
+  std::vector<int> inserted;
+  const std::size_t n = absorb_serialized_map(r, dst, merge, replace_existing, &inserted);
+  auto& keys = seg_keys_[static_cast<std::size_t>(segment)];
+  if (!inserted.empty()) {
+    // Wire order is ascending key order, so one inplace_merge restores
+    // the segment list's sorted invariant.
+    const auto mid = keys.insert(keys.end(), inserted.begin(), inserted.end());
+    std::inplace_merge(keys.begin(), keys.begin() + (mid - keys.begin()), keys.end());
+    for (const int key : inserted) intern_type(*dst.at(key));
+  }
+  if (replace_existing) {
+    // Replacement can swap an entry's dynamic type without inserting.
+    for (const int key : keys) intern_type(*dst.at(key));
+  }
+  return n;
+}
+
 std::size_t map_footprint_bytes(const CombinationMap& map) {
   std::size_t total = 0;
-  for (const auto& [key, obj] : map) total += obj->footprint_bytes();
+  for (const auto& [key, obj] : map) {
+    (void)key;
+    total += obj->footprint_bytes();
+  }
   return total;
 }
 

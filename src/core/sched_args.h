@@ -62,6 +62,16 @@ struct RunOptions {
   /// split assignment changes.
   bool dynamic_chunking = false;
 
+  /// Merge worker reduction maps pairwise on the thread pool (a log2(T)
+  /// binomial tree) instead of the serial worker-after-worker fold, and
+  /// clone the combination map into worker maps on the pool as well.  The
+  /// result is identical for the commutative/associative merges the
+  /// runtime already requires (global combination reorders merges too);
+  /// only the wall-clock of the local-combination phase changes.  Tiny
+  /// maps stay on the serial path regardless — pool dispatch would cost
+  /// more than the merge.
+  bool parallel_local_combine = true;
+
   /// Cells in the space-sharing circular buffer (paper Figure 4).
   std::size_t buffer_cells = 4;
 

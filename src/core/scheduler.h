@@ -404,13 +404,7 @@ class Scheduler {
 
     // Output conversion (Algorithm 1 lines 20-23): objects not already
     // emitted early are converted into the caller's output array.
-    if (out != nullptr && out_len > 0) {
-      for (const auto& [key, obj] : combination_map_) {
-        if (key >= 0 && static_cast<std::size_t>(key) < out_len) {
-          convert(*obj, out + key);
-        }
-      }
-    }
+    convert_combination_map(out, out_len);
     sync_tracked_objects();
     ++stats_.runs;
     if (obs::metrics_enabled()) {
@@ -439,13 +433,24 @@ class Scheduler {
   /// apps (empty map at this point) skip the per-worker pass entirely.
   void distribute_combination_map() {
     if (combination_map_.empty()) return;  // worker maps are already clear
-    for (auto& rmap : reduction_maps_) {
+    // Workers iterate the map concurrently (here and as gen_key's com_map
+    // argument); restore key order now so no worker's begin() has to.
+    combination_map_.ensure_sorted();
+    auto clone_into = [&](CombinationMap& rmap) {
       rmap.clear();
+      rmap.reserve(combination_map_.size());
       for (const auto& [key, obj] : combination_map_) {
         auto cloned = obj->clone();
         cloned->set_key(key);
         rmap.emplace(key, std::move(cloned));
       }
+    };
+    if (opts_.parallel_local_combine && reduction_maps_.size() > 1 &&
+        combination_map_.size() >= kParallelCombineMinEntries) {
+      pool_->parallel_region(
+          [&](int w) { clone_into(reduction_maps_[static_cast<std::size_t>(w)]); });
+    } else {
+      for (auto& rmap : reduction_maps_) clone_into(rmap);
     }
   }
 
@@ -478,15 +483,18 @@ class Scheduler {
       std::size_t peak = rmap.size();
       std::vector<int> keys;
       // Consecutive chunks usually hit the same key (single-object apps,
-      // grid runs), so cache the last slot; std::map nodes are stable, so
-      // the cached reference survives unrelated inserts.
+      // grid runs), so cache the last slot.  The cache holds the dense
+      // *index* of the entry, not a pointer: CombinationMap appends never
+      // move an existing entry's index, while the entry storage itself can
+      // reallocate under unrelated inserts.
       int cached_key = 0;
-      std::unique_ptr<RedObj>* cached_slot = nullptr;
+      std::size_t cached_slot = CombinationMap::npos;
       auto locate = [&](int key) -> std::unique_ptr<RedObj>& {
-        if (cached_slot != nullptr && cached_key == key) return *cached_slot;
-        cached_slot = &rmap[key];
-        cached_key = key;
-        return *cached_slot;
+        if (cached_slot == CombinationMap::npos || cached_key != key) {
+          cached_slot = rmap.slot_index(key);
+          cached_key = key;
+        }
+        return rmap.slot_at(cached_slot);
       };
       auto process_key = [&](const Chunk& chunk, int key) {
         detail::t_current_key = key;
@@ -502,8 +510,10 @@ class Scheduler {
           if (out != nullptr && key >= 0 && static_cast<std::size_t>(key) < out_len) {
             convert(*slot, out + key);
           }
+          // erase() swap-moves the last entry into the freed index, so the
+          // cached index may now name a different key — drop it.
           rmap.erase(key);
-          cached_slot = nullptr;
+          cached_slot = CombinationMap::npos;
           ++emitted[uw];
         }
       };
@@ -560,17 +570,63 @@ class Scheduler {
     sync_tracked_objects();
   }
 
-  /// Algorithm 1 lines 11-17, local half: worker maps merge into a fresh
-  /// node-local combination map.
+  /// Below this many total entries the serial local-combination fold is
+  /// used even when parallel_local_combine is on: dispatching the pool
+  /// costs more than merging a handful of objects.  Also gates the
+  /// parallel clone in distribute_combination_map.
+  static constexpr std::size_t kParallelCombineMinEntries = 64;
+
+  /// Algorithm 1 lines 11-17, local half: worker maps merge into the
+  /// node-local combination map (the seeded entries survive via their
+  /// worker clones, so the pre-phase map is simply replaced).
+  ///
+  /// With parallel_local_combine, the T worker maps merge pairwise on the
+  /// pool as a binomial tree — round d merges map[w+d] into map[w] for
+  /// every w divisible by 2d — so the phase costs log2(T) rounds of
+  /// concurrent merges instead of T-1 serial ones.  Each round's pairs
+  /// touch disjoint maps; merge() must therefore tolerate concurrent calls
+  /// on disjoint objects, which the merge contract (pure function of its
+  /// two operands) already guarantees.  The phase charges the critical
+  /// path (slowest worker per round) to combination_seconds, like the
+  /// reduction phase; the simmpi clock is not advanced, preserving the
+  /// serial path's timing semantics.
   void local_combination() {
     ThreadCpuTimer timer;
-    CombinationMap fresh;
-    for (auto& rmap : reduction_maps_) {
-      merge_map_into(std::move(rmap), fresh, merge_fn());
-      rmap.clear();
+    const std::size_t workers = reduction_maps_.size();
+    std::size_t total_entries = 0;
+    for (const auto& m : reduction_maps_) total_entries += m.size();
+
+    if (!opts_.parallel_local_combine || workers <= 1 ||
+        total_entries < kParallelCombineMinEntries) {
+      CombinationMap fresh;
+      for (auto& rmap : reduction_maps_) {
+        merge_map_into(std::move(rmap), fresh, merge_fn());
+        rmap.clear();
+      }
+      combination_map_ = std::move(fresh);
+      stats_.combination_seconds += timer.seconds();
+      return;
     }
-    combination_map_ = std::move(fresh);
-    stats_.combination_seconds += timer.seconds();
+
+    double critical_path = timer.seconds();  // serial prologue
+    const MergeFn merge = merge_fn();
+    for (std::size_t dist = 1; dist < workers; dist *= 2) {
+      const std::vector<double> busy = pool_->parallel_region([&](int w) {
+        const auto uw = static_cast<std::size_t>(w);
+        if (uw % (2 * dist) != 0) return;
+        const std::size_t src = uw + dist;
+        if (src >= workers) return;
+        merge_map_into(std::move(reduction_maps_[src]), reduction_maps_[uw], merge);
+        reduction_maps_[src].clear();
+      });
+      // Rounds are sequential; each costs its slowest merge.
+      double round = 0.0;
+      for (double b : busy) round = std::max(round, b);
+      critical_path += round;
+    }
+    combination_map_ = std::move(reduction_maps_[0]);
+    reduction_maps_[0].clear();
+    stats_.combination_seconds += critical_path;
   }
 
   /// Algorithm 1 lines 11-17, global half: rank maps merge across simmpi
