@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Runs the core microbenchmarks and records them as BENCH_core.json at the
-# repo root — the benchmark trajectory the perf work is judged against.
+# Runs the core and transport microbenchmarks and records them as
+# BENCH_core.json and BENCH_transport.json at the repo root — the benchmark
+# trajectory the perf work is judged against.
 #
-#   scripts/bench.sh              # full core-ops sweep -> BENCH_core.json
-#   scripts/bench.sh out.json     # same, custom output path
+#   scripts/bench.sh              # full sweep -> BENCH_core.json + BENCH_transport.json
+#   scripts/bench.sh out.json     # core sweep to out.json, transport beside it
 #
 # The sweep covers the reduction hot path and its before/after pairs:
 #   * BM_ReductionMapAccumulate vs BM_LegacyStdMapAccumulate — the flat
@@ -15,18 +16,32 @@
 #   * BM_MapSerializeRoundTrip / BM_MapCombineAlgorithms — the codec and
 #     tree/ring crossover benches the combiner defaults come from.
 #
+# The transport suite (bench/micro_transport.cpp) covers the simmpi data
+# plane and its before/after pairs:
+#   * BM_LegacyAnySourceFanIn vs BM_ShardedAnySourceFanIn — the single-deque
+#     linear-scan mailbox against sharded (source, tag) lanes, with a stale
+#     control backlog ahead of the data;
+#   * BM_LegacyExactSourceRecv vs BM_ShardedExactSourceRecv — exact matching
+#     behind a deep backlog;
+#   * BM_LegacyBcast1MiB8Ranks vs BM_SharedBcast1MiB8Ranks — per-edge payload
+#     copies vs one shared immutable payload, with a
+#     payload_bytes_copied_per_bcast counter;
+#   * BM_FreshBufferPerMessage vs BM_PooledBufferPerMessage — BufferPool
+#     recycling against a fresh allocation per message.
+#
 # Numbers are container-relative; compare runs from the same machine only.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 out="${1:-$repo/BENCH_core.json}"
+transport_out="$(dirname "$out")/BENCH_transport.json"
 
 filter='BM_ReductionMapAccumulate|BM_LegacyStdMapAccumulate|BM_CombinationMapInsert|BM_LegacyStdMapInsert|BM_MapCodec|BM_LocalCombine|BM_MapSerializeRoundTrip|BM_MapCombineAlgorithms'
 
 echo "== bench: build =="
 cmake -B "$repo/build" -S "$repo" >/dev/null
-cmake --build "$repo/build" -j "$jobs" --target micro_core_ops
+cmake --build "$repo/build" -j "$jobs" --target micro_core_ops micro_transport
 
 echo "== bench: run (filter: core map/codec/combine) =="
 "$repo/build/bench/micro_core_ops" \
@@ -37,3 +52,12 @@ echo "== bench: run (filter: core map/codec/combine) =="
 
 python3 -m json.tool "$out" >/dev/null
 echo "== bench: wrote $out =="
+
+echo "== bench: run (transport fan-in / bcast copies / buffer pool) =="
+"$repo/build/bench/micro_transport" \
+  --benchmark_out="$transport_out" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.05
+
+python3 -m json.tool "$transport_out" >/dev/null
+echo "== bench: wrote $transport_out =="

@@ -62,29 +62,63 @@ print(f"   trace ok: {len(events)} events, span ranks {sorted(span_ranks)}, "
       f"{len(starts & ends)} matched flow pair(s)")
 EOF
 
+echo "== tier-1: transport trace validation (8-rank bcast) =="
+# An 8-rank run drives the tree allreduce through bcast_shared; the trace
+# must show bcast-tagged send spans whose flow events pair up with a recv on
+# another rank — shared payloads must not lose the send->recv causality
+# edges the Chrome-trace export is built on.
+trace8_json="$repo/build/check_trace8.json"
+"$repo/build/examples/smart_cli" --sim heat3d --app histogram --ranks 8 \
+  --threads 2 --steps 3 --trace-out "$trace8_json" >/dev/null
+python3 - "$trace8_json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+starts = {e["id"] for e in events if e.get("ph") == "s"}
+ends = {e["id"] for e in events if e.get("ph") == "f"}
+unmatched = ends - starts
+assert not unmatched, f"{len(unmatched)} recv flow(s) with no matching send"
+assert starts & ends, "no matched send->recv flow pair"
+bcast_sends = [e for e in events
+               if e.get("ph") == "X" and e.get("name") == "send"
+               and e.get("args", {}).get("tag") == -2000]
+bcast_ranks = {e["pid"] for e in bcast_sends}
+assert bcast_sends, "8-rank run produced no bcast-tagged send spans"
+assert len(bcast_ranks) >= 2, f"bcast sends from one rank only: {bcast_ranks}"
+print(f"   trace8 ok: {len(events)} events, {len(starts & ends)} matched "
+      f"flow pair(s), {len(bcast_sends)} bcast send span(s) over ranks "
+      f"{sorted(bcast_ranks)}")
+EOF
+
 echo "== tier-1: bench smoke =="
-# The core microbenches must run and emit parseable JSON (scripts/bench.sh
-# is the full sweep; this is just a liveness check on one fast filter).
+# The microbenches must run and emit parseable JSON (scripts/bench.sh is the
+# full sweep; this is just a liveness check on fast filters).
 bench_json="$repo/build/check_bench.json"
 "$repo/build/bench/micro_core_ops" \
   --benchmark_filter='BM_ReductionMapAccumulate|BM_MapCodec' \
   --benchmark_min_time=0.01 \
   --benchmark_out="$bench_json" --benchmark_out_format=json >/dev/null
 python3 -m json.tool "$bench_json" >/dev/null
+bench_transport_json="$repo/build/check_bench_transport.json"
+"$repo/build/bench/micro_transport" \
+  --benchmark_filter='BM_ShardedAnySourceFanIn|BM_PooledBufferPerMessage' \
+  --benchmark_min_time=0.01 \
+  --benchmark_out="$bench_transport_json" --benchmark_out_format=json >/dev/null
+python3 -m json.tool "$bench_transport_json" >/dev/null
 echo "   bench smoke ok"
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tsan: build test_threading + test_space_sharing + test_obs + test_combination_map =="
+  echo "== tsan: build test_threading + test_space_sharing + test_obs + test_combination_map + test_transport =="
   cmake -B "$repo/build-tsan" -S "$repo" -DSMART_SANITIZE=thread \
     -DSMART_BUILD_BENCHES=OFF -DSMART_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "$repo/build-tsan" -j "$jobs" \
-    --target test_threading test_space_sharing test_obs test_combination_map
+    --target test_threading test_space_sharing test_obs test_combination_map test_transport
 
   echo "== tsan: run =="
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_threading"
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_space_sharing"
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_obs"
   TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_combination_map"
+  TSAN_OPTIONS="halt_on_error=1" "$repo/build-tsan/tests/test_transport"
 fi
 
 if [[ "$run_asan" == 1 ]]; then

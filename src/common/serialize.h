@@ -7,9 +7,11 @@
 // wants to cross a rank boundary must round-trip through Writer/Reader.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -19,6 +21,180 @@ namespace smart {
 
 /// Growable byte buffer; the unit of exchange between simmpi ranks.
 using Buffer = std::vector<std::byte>;
+
+/// Immutable, reference-counted wire bytes.  Fan-out senders (bcast
+/// children, checkpoint distribution, FT direct root fan-out) serialize
+/// once and hand the same SharedBuffer to every destination; receivers
+/// each deserialize from the shared bytes, so the serialize-once-per-
+/// message fidelity rule (simmpi/mailbox.h) is untouched while the
+/// per-child payload copies disappear.
+using SharedBuffer = std::shared_ptr<const Buffer>;
+
+/// Size-classed buffer recycler for steady-state wire traffic.
+///
+/// Free lists are thread-local (no locks on acquire/release); each list
+/// holds cleared buffers bucketed by floor-log2(capacity), so acquire()
+/// returns a buffer whose capacity already covers the request and a
+/// steady-state combination round stops churning the allocator.  Retention
+/// is bounded two ways — at most kMaxPerClass buffers per class and
+/// kMaxRetainedBytes of total capacity per thread — so a burst cannot turn
+/// the pool into a leak.  Hit/miss/recycle totals are process-wide relaxed
+/// atomics, always on (pool operations are per-message, not per-byte) and
+/// surfaced through MetricsRegistry snapshots as bufferpool.* counters.
+class BufferPool {
+ public:
+  /// Buffers below this capacity are not worth pooling.
+  static constexpr std::size_t kMinPooledCapacity = 256;
+  /// Buffers above this capacity are returned to the allocator.
+  static constexpr std::size_t kMaxPooledCapacity = 8u * 1024 * 1024;
+  static constexpr std::size_t kMaxPerClass = 8;
+  /// Cap on the summed capacity a single thread's free lists may retain.
+  static constexpr std::size_t kMaxRetainedBytes = 32u * 1024 * 1024;
+
+  struct Totals {
+    std::uint64_t hits = 0;            ///< acquires served from a free list
+    std::uint64_t misses = 0;          ///< acquires that hit the allocator
+    std::uint64_t releases_pooled = 0; ///< releases retained for reuse
+    std::uint64_t releases_dropped = 0;///< releases past the retention bound
+    std::uint64_t bytes_recycled = 0;  ///< capacity handed back out by hits
+  };
+
+  /// Returns an empty buffer with capacity >= min_capacity, reusing a
+  /// pooled buffer when one is available on this thread.
+  static Buffer acquire(std::size_t min_capacity) {
+    if (min_capacity > kMaxPooledCapacity) {
+      counters().misses.fetch_add(1, std::memory_order_relaxed);
+      Buffer out;
+      out.reserve(min_capacity);
+      return out;
+    }
+    auto& lists = free_lists();
+    const std::size_t cls = class_of(min_capacity < kMinPooledCapacity
+                                         ? kMinPooledCapacity
+                                         : round_up_pow2(min_capacity));
+    if (!lists.per_class[cls].empty()) {
+      Buffer out = std::move(lists.per_class[cls].back());
+      lists.per_class[cls].pop_back();
+      lists.retained_bytes -= out.capacity();
+      counters().hits.fetch_add(1, std::memory_order_relaxed);
+      counters().bytes_recycled.fetch_add(out.capacity(), std::memory_order_relaxed);
+      return out;
+    }
+    counters().misses.fetch_add(1, std::memory_order_relaxed);
+    Buffer out;
+    // Round tiny requests up to the poolable minimum so the allocation can
+    // be retained when it comes back through release().
+    out.reserve(min_capacity < kMinPooledCapacity ? kMinPooledCapacity : min_capacity);
+    return out;
+  }
+
+  /// Hands a buffer's capacity back to this thread's pool (contents are
+  /// cleared).  Oversized, undersized, or bound-exceeding buffers are
+  /// simply dropped to the allocator.
+  static void release(Buffer&& buf) {
+    const std::size_t cap = buf.capacity();
+    if (cap < kMinPooledCapacity || cap > kMaxPooledCapacity) {
+      if (cap != 0) counters().releases_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;  // empty or out of range: nothing worth keeping
+    }
+    auto& lists = free_lists();
+    const std::size_t cls = class_of(cap);
+    if (lists.per_class[cls].size() >= kMaxPerClass ||
+        lists.retained_bytes + cap > kMaxRetainedBytes) {
+      counters().releases_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    buf.clear();
+    lists.retained_bytes += cap;
+    lists.per_class[cls].push_back(std::move(buf));
+    counters().releases_pooled.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static Totals totals() {
+    const auto& c = counters();
+    Totals t;
+    t.hits = c.hits.load(std::memory_order_relaxed);
+    t.misses = c.misses.load(std::memory_order_relaxed);
+    t.releases_pooled = c.releases_pooled.load(std::memory_order_relaxed);
+    t.releases_dropped = c.releases_dropped.load(std::memory_order_relaxed);
+    t.bytes_recycled = c.bytes_recycled.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  /// Buffers currently retained by the calling thread (tests/diagnostics).
+  static std::size_t thread_retained_count() {
+    std::size_t n = 0;
+    for (const auto& cls : free_lists().per_class) n += cls.size();
+    return n;
+  }
+
+  /// Drops the calling thread's free lists (tests).
+  static void drain_thread_cache() {
+    for (auto& cls : free_lists().per_class) cls.clear();
+    free_lists().retained_bytes = 0;
+  }
+
+ private:
+  // Classes cover floor-log2 buckets from kMinPooledCapacity (2^8) through
+  // kMaxPooledCapacity (2^23) inclusive.
+  static constexpr std::size_t kMinClassBits = 8;
+  static constexpr std::size_t kMaxClassBits = 23;
+  static constexpr std::size_t kNumClasses = kMaxClassBits - kMinClassBits + 1;
+
+  struct FreeLists {
+    std::vector<Buffer> per_class[kNumClasses];
+    std::size_t retained_bytes = 0;
+  };
+
+  struct AtomicTotals {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> releases_pooled{0};
+    std::atomic<std::uint64_t> releases_dropped{0};
+    std::atomic<std::uint64_t> bytes_recycled{0};
+  };
+
+  static std::size_t class_of(std::size_t capacity) {
+    std::size_t bits = 0;
+    for (std::size_t c = capacity; c > 1; c >>= 1) ++bits;
+    if (bits < kMinClassBits) bits = kMinClassBits;
+    if (bits > kMaxClassBits) bits = kMaxClassBits;
+    return bits - kMinClassBits;
+  }
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  static FreeLists& free_lists() {
+    thread_local FreeLists lists;
+    return lists;
+  }
+
+  static AtomicTotals& counters() {
+    static AtomicTotals totals;
+    return totals;
+  }
+};
+
+/// Wraps serialized bytes as an immutable shared payload whose backing
+/// storage returns to the BufferPool of whichever thread drops the last
+/// reference — so a payload's capacity is recycled even when it is
+/// consumed on a different rank thread than the one that allocated it.
+inline SharedBuffer make_shared_buffer(Buffer&& bytes) {
+  return SharedBuffer(new Buffer(std::move(bytes)), [](Buffer* p) {
+    BufferPool::release(std::move(*p));
+    delete p;
+  });
+}
+
+/// Canonical empty payload (never null, never mutated).
+inline const SharedBuffer& shared_empty_buffer() {
+  static const SharedBuffer empty = std::make_shared<const Buffer>();
+  return empty;
+}
 
 /// Appends primitives, strings and trivially-copyable spans to a Buffer.
 ///

@@ -27,9 +27,10 @@ void save_checkpoint(const Scheduler<In, Out>& sched, const std::string& path) {
 /// All reduction-object types in the checkpoint must be registered.
 template <typename In, typename Out>
 void load_checkpoint(Scheduler<In, Out>& sched, const std::string& path) {
-  const Buffer snapshot = read_checkpoint_file(path);
+  Buffer snapshot = read_checkpoint_file(path);
   sched.reset_combination_map();
   sched.absorb(snapshot);
+  BufferPool::release(std::move(snapshot));
 }
 
 }  // namespace smart

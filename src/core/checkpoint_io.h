@@ -51,7 +51,7 @@ inline std::uint64_t fnv1a64(const std::byte* data, std::size_t n) {
 
 /// Atomically writes `snapshot` (a serialized combination map) to `path`.
 inline void write_checkpoint_file(const Buffer& snapshot, const std::string& path) {
-  Buffer header;
+  Buffer header = BufferPool::acquire(detail::kCheckpointHeaderBytes);
   {
     Writer w(header);
     w.write(detail::kCheckpointMagic);
@@ -66,6 +66,7 @@ inline void write_checkpoint_file(const Buffer& snapshot, const std::string& pat
             std::fwrite(snapshot.data(), 1, snapshot.size(), f) == snapshot.size() &&
             std::fflush(f) == 0;
   ok = (std::fclose(f) == 0) && ok;
+  BufferPool::release(std::move(header));
   if (!ok) {
     std::remove(tmp.c_str());
     throw std::runtime_error("write_checkpoint_file: short write to " + tmp);
@@ -113,7 +114,8 @@ inline Buffer read_checkpoint_file(const std::string& path) {
                              std::to_string(actual) +
                              (actual < size ? " (truncated checkpoint)" : " (trailing bytes)"));
   }
-  Buffer snapshot(size);
+  Buffer snapshot = BufferPool::acquire(size);
+  snapshot.resize(size);
   const bool body_ok = std::fread(snapshot.data(), 1, size, f) == size;
   std::fclose(f);
   if (!body_ok) throw std::runtime_error("read_checkpoint_file: cannot read " + path);

@@ -225,17 +225,19 @@ void combine_across_staging(simmpi::Communicator& comm, const Topology& topo,
         continue;  // died after staging: its partial result is lost, not the round
       }
     }
-    const Buffer global = sched.snapshot();
+    // One snapshot shared by every peer: serialize once, copy never.
+    const SharedBuffer global = make_shared_buffer(sched.snapshot());
     for (const int peer : staging) {
-      if (peer != root) comm.send(peer, detail::kResultTag, global);
+      if (peer != root) comm.send_shared(peer, detail::kResultTag, global);
     }
   } else {
     comm.send(root, detail::kCombineTag, sched.snapshot());
-    Buffer global = peer_timeout_seconds > 0.0
-                        ? comm.recv_timeout(root, detail::kResultTag, peer_timeout_seconds)
-                        : comm.recv(root, detail::kResultTag);
+    const SharedBuffer global =
+        peer_timeout_seconds > 0.0
+            ? comm.recv_shared_timeout(root, detail::kResultTag, peer_timeout_seconds)
+            : comm.recv_shared(root, detail::kResultTag);
     sched.reset_combination_map();
-    sched.absorb(global);
+    sched.absorb(*global);
   }
   sched.run_post_combine();
 }

@@ -21,6 +21,14 @@ constexpr int kRingGatherTag = -9400;
 constexpr int kFtBaseTag = -9600;
 }  // namespace
 
+void MapCombiner::prepare_wire() {
+  if (wire_.capacity() == 0) {
+    wire_ = BufferPool::acquire(wire_hint_);
+  } else {
+    wire_.clear();
+  }
+}
+
 MapCombineStats MapCombiner::allreduce(simmpi::Communicator& comm, CombinationMap& map,
                                        const MergeFn& merge, double peer_timeout_seconds) {
   MapCombineStats stats;
@@ -91,21 +99,22 @@ void MapCombiner::ft_tree_allreduce(simmpi::Communicator& comm, const std::vecto
   for (int dist = 1; dist < m; dist <<= 1) {
     if (me % (2 * dist) == 0) {
       if (me + dist < m) {
-        const Buffer child = comm.recv_timeout(peer(me + dist), payload_tag, timeout_seconds);
+        Buffer child = comm.recv_timeout(peer(me + dist), payload_tag, timeout_seconds);
         ThreadCpuTimer codec;
         Reader r(child);
         stats.map_merges += absorb_serialized_map(r, map, merge);
         stats.codec_seconds += codec.seconds();
+        BufferPool::release(std::move(child));
       }
     } else {
       ThreadCpuTimer codec;
-      wire_.clear();
+      prepare_wire();
       serialize_map(map, wire_);
       stats.codec_seconds += codec.seconds();
       ++stats.map_serializes;
       stats.bytes_encoded += wire_.size();
+      if (wire_.size() > wire_hint_) wire_hint_ = wire_.size();
       comm.send(peer(me - dist), payload_tag, std::move(wire_));
-      wire_ = Buffer{};
       break;
     }
   }
@@ -113,19 +122,23 @@ void MapCombiner::ft_tree_allreduce(simmpi::Communicator& comm, const std::vecto
   // Direct fan-out of the result: the root sends the merged map straight
   // to every survivor.  Interior bcast forwarding would make one rank's
   // death strand its whole subtree; direct sends keep every delivery
-  // independent, which matters more than latency here.
+  // independent, which matters more than latency here.  Every survivor is
+  // handed the same SharedBuffer — one serialize, zero per-peer copies.
   if (me == 0) {
     ThreadCpuTimer codec;
-    wire_.clear();
+    prepare_wire();
     serialize_map(map, wire_);
     stats.codec_seconds += codec.seconds();
     ++stats.map_serializes;
     stats.bytes_encoded += wire_.size();
-    for (int g = 1; g < m; ++g) comm.send(peer(g), result_tag, wire_);
+    if (wire_.size() > wire_hint_) wire_hint_ = wire_.size();
+    const SharedBuffer result = make_shared_buffer(std::move(wire_));
+    for (int g = 1; g < m; ++g) comm.send_shared(peer(g), result_tag, result);
   } else {
-    const Buffer global = comm.recv_timeout(peer(0), result_tag, timeout_seconds);
+    const SharedBuffer global =
+        comm.recv_shared_timeout(peer(0), result_tag, timeout_seconds);
     ThreadCpuTimer codec;
-    map = deserialize_map(global);
+    map = deserialize_map(*global);
     stats.codec_seconds += codec.seconds();
     ++stats.map_deserializes;
   }
@@ -162,41 +175,46 @@ void MapCombiner::tree_allreduce(simmpi::Communicator& comm, CombinationMap& map
   for (int dist = 1; dist < n; dist <<= 1) {
     if (rank % (2 * dist) == 0) {
       if (rank + dist < n) {
-        const Buffer child = comm.recv(rank + dist, kTreeTag);
+        Buffer child = comm.recv(rank + dist, kTreeTag);
         ThreadCpuTimer codec;
         Reader r(child);
         stats.map_merges += absorb_serialized_map(r, map, merge);
         stats.codec_seconds += codec.seconds();
+        BufferPool::release(std::move(child));
       }
     } else {
       ThreadCpuTimer codec;
-      wire_.clear();
+      prepare_wire();
       serialize_map(map, wire_);
       stats.codec_seconds += codec.seconds();
       ++stats.map_serializes;
       stats.bytes_encoded += wire_.size();
+      if (wire_.size() > wire_hint_) wire_hint_ = wire_.size();
       comm.send(rank - dist, kTreeTag, std::move(wire_));
-      wire_ = Buffer{};
       break;
     }
   }
   // Broadcast the globally merged map.  The root's live map *is* the
-  // result — it serializes once for the wire and never deserializes; the
-  // broadcast buffer stays owned here, so its capacity is reused next
-  // round (bcast copies per child internally).
+  // result — it serializes once for the wire and never deserializes.  The
+  // whole binomial tree shares the root's serialized bytes (bcast_shared),
+  // and every non-root deserializes straight out of them: no per-child
+  // copies, no materializing copy at the leaves, and the storage returns
+  // to the BufferPool when the last rank drops its reference.
   if (rank == 0) {
     ThreadCpuTimer codec;
-    wire_.clear();
+    prepare_wire();
     serialize_map(map, wire_);
     stats.codec_seconds += codec.seconds();
     ++stats.map_serializes;
     stats.bytes_encoded += wire_.size();
-    comm.bcast(wire_, 0);
+    if (wire_.size() > wire_hint_) wire_hint_ = wire_.size();
+    SharedBuffer result = make_shared_buffer(std::move(wire_));
+    comm.bcast_shared(result, 0);
   } else {
-    Buffer global;
-    comm.bcast(global, 0);
+    SharedBuffer global;
+    comm.bcast_shared(global, 0);
     ThreadCpuTimer codec;
-    map = deserialize_map(global);
+    map = deserialize_map(*global);
     stats.codec_seconds += codec.seconds();
     ++stats.map_deserializes;
   }
@@ -227,17 +245,18 @@ void MapCombiner::ring_allreduce(simmpi::Communicator& comm, CombinationMap& map
   // traffic is ~2·S·(n-1)/n bytes total regardless of rank count.
   for (int step = 0; step < n - 1; ++step) {
     ThreadCpuTimer encode;
-    wire_.clear();
+    prepare_wire();
     seg_index_.serialize_segment(map, mod(rank - step), wire_);
     stats.codec_seconds += encode.seconds();
     stats.bytes_encoded += wire_.size();
+    if (wire_.size() > wire_hint_) wire_hint_ = wire_.size();
     comm.send(right, kRingReduceTag - step, std::move(wire_));
-    wire_ = Buffer{};
-    const Buffer incoming = comm.recv(left, kRingReduceTag - step);
+    Buffer incoming = comm.recv(left, kRingReduceTag - step);
     ThreadCpuTimer decode;
     Reader r(incoming);
     stats.map_merges += seg_index_.absorb_segment(r, map, merge, mod(rank - step - 1));
     stats.codec_seconds += decode.seconds();
+    BufferPool::release(std::move(incoming));
   }
 
   // Allgather: circulate the finished segments.  Only the first payload is
@@ -247,7 +266,7 @@ void MapCombiner::ring_allreduce(simmpi::Communicator& comm, CombinationMap& map
   // from the map after this point, so the plain absorb (which leaves the
   // segment index stale) is fine.
   ThreadCpuTimer encode;
-  Buffer circulating;
+  Buffer circulating = BufferPool::acquire(wire_hint_ / static_cast<std::size_t>(n));
   seg_index_.serialize_segment(map, mod(rank + 1), circulating);
   stats.codec_seconds += encode.seconds();
   stats.bytes_encoded += circulating.size();
@@ -260,6 +279,7 @@ void MapCombiner::ring_allreduce(simmpi::Communicator& comm, CombinationMap& map
     stats.codec_seconds += decode.seconds();
     circulating = std::move(incoming);
   }
+  BufferPool::release(std::move(circulating));
 }
 
 }  // namespace smart

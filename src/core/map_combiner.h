@@ -119,9 +119,15 @@ class MapCombiner {
                          CombinationMap& map, const MergeFn& merge, double timeout_seconds,
                          MapCombineStats& stats);
 
+  /// Readies wire_ for a fresh encode: clears it when its capacity is still
+  /// here, re-acquires from the BufferPool (sized by the largest encode seen
+  /// so far) after a send moved the storage away.
+  void prepare_wire();
+
   Algorithm algorithm_;
   std::size_t ring_crossover_bytes_;
-  Buffer wire_;  ///< reused encode buffer (capacity persists when not shipped)
+  Buffer wire_;  ///< reused encode buffer (pool-backed once shipped)
+  std::size_t wire_hint_ = 0;  ///< largest encode so far, sizes pool acquires
   MapSegmentIndex seg_index_;  ///< ring per-round key/segment index (allocations reused)
   std::size_t agreed_footprint_ = 0;  ///< global map footprint after the last round
   bool have_agreed_footprint_ = false;

@@ -202,7 +202,7 @@ class Scheduler {
   /// results to dedicated staging ranks (paper Section 6's in-transit and
   /// hybrid modes; see core/intransit.h).
   Buffer snapshot() const {
-    Buffer buf;
+    Buffer buf = BufferPool::acquire(0);
     append_snapshot(buf);
     return buf;
   }
@@ -418,9 +418,10 @@ class Scheduler {
     if (recovery_.checkpoint_every_runs > 0 &&
         stats_.runs % static_cast<std::size_t>(recovery_.checkpoint_every_runs) == 0) {
       obs::TraceSpan span("checkpoint", "sched");
-      const Buffer snap = snapshot();
+      Buffer snap = snapshot();
       span.arg("bytes", static_cast<std::int64_t>(snap.size()));
       write_checkpoint_file(snap, recovery_.checkpoint_path);
+      BufferPool::release(std::move(snap));
       ++stats_.auto_checkpoints;
     }
   }

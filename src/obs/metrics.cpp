@@ -38,18 +38,36 @@ FixedHistogram& MetricsRegistry::histogram(const std::string& name, std::vector<
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
-  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
-  for (const auto& [name, h] : histograms_) {
-    MetricsSnapshot::Histogram hs;
-    hs.name = name;
-    hs.bounds = h->bounds();
-    hs.buckets.resize(h->num_buckets());
-    for (std::size_t i = 0; i < h->num_buckets(); ++i) hs.buckets[i] = h->bucket(i);
-    hs.count = h->count();
-    hs.sum = h->sum();
-    snap.histograms.push_back(std::move(hs));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) {
+      MetricsSnapshot::Histogram hs;
+      hs.name = name;
+      hs.bounds = h->bounds();
+      hs.buckets.resize(h->num_buckets());
+      for (std::size_t i = 0; i < h->num_buckets(); ++i) hs.buckets[i] = h->bucket(i);
+      hs.count = h->count();
+      hs.sum = h->sum();
+      snap.histograms.push_back(std::move(hs));
+    }
+  }
+  // The BufferPool keeps its own process-wide relaxed counters (it lives
+  // below the obs layer and is always on); bridge them into the snapshot
+  // here so --metrics-out shows allocator churn.  Only the global registry
+  // reports them — per-rank registries merged by obs::gather would
+  // otherwise multiply the process totals by the rank count.
+  if (this == &global()) {
+    const BufferPool::Totals pool = BufferPool::totals();
+    snap.counters["bufferpool.hits"] = static_cast<std::int64_t>(pool.hits);
+    snap.counters["bufferpool.misses"] = static_cast<std::int64_t>(pool.misses);
+    snap.counters["bufferpool.releases_pooled"] =
+        static_cast<std::int64_t>(pool.releases_pooled);
+    snap.counters["bufferpool.releases_dropped"] =
+        static_cast<std::int64_t>(pool.releases_dropped);
+    snap.counters["bufferpool.bytes_recycled"] =
+        static_cast<std::int64_t>(pool.bytes_recycled);
   }
   return snap;
 }

@@ -1,6 +1,7 @@
 #include "simmpi/communicator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
@@ -13,7 +14,11 @@
 namespace smart::simmpi {
 
 namespace {
-// Internal tag space for collectives; user tags must be >= 0.
+// Internal tag space for collectives; user tags must be >= 0.  Gather and
+// alltoall complete in any-source order, so successive calls separate their
+// rounds with an epoch suffix (tags descend through the family's 1000-tag
+// slice) — otherwise a fast rank's round-k+1 message could be consumed by a
+// slow root still draining round k.
 constexpr int kBarrierBase = -1000;
 constexpr int kBcastTag = -2000;
 constexpr int kGatherTag = -3000;
@@ -21,6 +26,30 @@ constexpr int kReduceTag = -4000;
 constexpr int kScatterTag = -5000;
 constexpr int kAlltoallTag = -6000;
 constexpr int kSplitTag = -7000;
+constexpr int kEpochSlots = 1000;
+
+std::atomic<std::uint64_t> g_payload_bytes_copied{0};
+
+/// One physical copy of wire bytes happened.  The relaxed atomic is always
+/// on (copies are per-message); the registry counter rides the usual
+/// metrics gate.
+void count_payload_copy(std::size_t bytes) {
+  g_payload_bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& copied =
+        obs::MetricsRegistry::global().counter("simmpi.payload_bytes_copied");
+    copied.add(static_cast<std::int64_t>(bytes));
+  }
+}
+
+/// Copies `src` into a pooled buffer (the counted slow path every shared or
+/// lvalue payload goes through exactly once).
+Buffer pooled_copy(const Buffer& src) {
+  Buffer out = BufferPool::acquire(src.size());
+  out.assign(src.begin(), src.end());
+  count_payload_copy(src.size());
+  return out;
+}
 
 /// Message-latency buckets for simmpi.recv_wait_us: 1µs .. 1s in decades.
 const std::vector<double>& recv_wait_bounds() {
@@ -37,6 +66,10 @@ void observe_recv_wait(std::chrono::steady_clock::time_point wait_start) {
   hist.observe(waited_us);
 }
 }  // namespace
+
+std::uint64_t payload_bytes_copied() {
+  return g_payload_bytes_copied.load(std::memory_order_relaxed);
+}
 
 Communicator::Communicator(World& world, int world_rank)
     : world_(world),
@@ -88,17 +121,18 @@ double Communicator::vclock() {
   return state_->vclock;
 }
 
-void Communicator::send(int dest, int tag, Buffer payload) {
+void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool shared) {
   if (dest < 0 || dest >= size()) {
     throw std::out_of_range("simmpi::send: destination rank out of range");
   }
+  const std::size_t nbytes = payload ? payload->size() : 0;
   obs::TraceSpan span("send", "mpi",
-                      {{"tag", tag}, {"bytes", static_cast<std::int64_t>(payload.size())}});
+                      {{"tag", tag}, {"bytes", static_cast<std::int64_t>(nbytes)}});
   if (obs::metrics_enabled()) {
     static obs::Counter& msgs = obs::MetricsRegistry::global().counter("simmpi.messages_sent");
     static obs::Counter& bytes = obs::MetricsRegistry::global().counter("simmpi.bytes_sent");
     msgs.add(1);
-    bytes.add(static_cast<std::int64_t>(payload.size()));
+    bytes.add(static_cast<std::int64_t>(nbytes));
   }
   charge_own_cpu();
   const int world_dest = to_world(dest);
@@ -118,10 +152,10 @@ void Communicator::send(int dest, int tag, Buffer payload) {
           if (obs::trace_enabled()) {
             obs::TraceCollector::instance().instant(
                 "fault.drop", "fault",
-                {{"tag", tag}, {"bytes", static_cast<std::int64_t>(payload.size())}});
+                {{"tag", tag}, {"bytes", static_cast<std::int64_t>(nbytes)}});
           }
           // The NIC "sent" it; it just never arrives.
-          state_->bytes_sent += payload.size();
+          state_->bytes_sent += nbytes;
           return;
         case FaultAction::kDelay:
           if (obs::trace_enabled()) {
@@ -136,25 +170,45 @@ void Communicator::send(int dest, int tag, Buffer payload) {
       }
     }
   }
-  state_->bytes_sent += payload.size();
+  state_->bytes_sent += nbytes;  // wire traffic counts the logical message once
   Envelope e;
   e.source = world_rank_;
   e.tag = tag;
   e.vtime = state_->vclock;
   e.payload = std::move(payload);
+  e.shared_payload = shared;
   if (obs::trace_enabled()) {
     // The flow arrow starts inside this send span and ends inside the
-    // matching recv span on the destination rank (deliver()).
+    // matching recv span on the destination rank (deliver_shared()).
     auto& tc = obs::TraceCollector::instance();
     e.flow_id = tc.next_flow_id();
     tc.flow_start("msg", "mpi", e.flow_id);
   }
   if (duplicate) {
+    // Both envelopes reference the same immutable bytes; copying the
+    // Envelope only bumps the refcount.  Mark both shared so neither
+    // receive steals the storage out from under the other.
+    e.shared_payload = true;
     Envelope copy = e;
-    copy.payload = e.payload;
     world_.mailbox(world_dest).post(std::move(copy));
   }
   world_.mailbox(world_dest).post(std::move(e));
+}
+
+void Communicator::send(int dest, int tag, const Buffer& payload) {
+  SharedBuffer data;
+  if (!payload.empty()) data = make_shared_buffer(pooled_copy(payload));
+  send_envelope(dest, tag, std::move(data), /*shared=*/false);
+}
+
+void Communicator::send(int dest, int tag, Buffer&& payload) {
+  SharedBuffer data;
+  if (!payload.empty()) data = make_shared_buffer(std::move(payload));
+  send_envelope(dest, tag, std::move(data), /*shared=*/false);
+}
+
+void Communicator::send_shared(int dest, int tag, SharedBuffer payload) {
+  send_envelope(dest, tag, std::move(payload), /*shared=*/true);
 }
 
 void Communicator::inject_recv_faults(int world_source, int tag) {
@@ -183,10 +237,10 @@ void Communicator::inject_recv_faults(int world_source, int tag) {
   }
 }
 
-Buffer Communicator::deliver(Envelope e, int* actual_source, int* actual_tag) {
+SharedBuffer Communicator::deliver_shared(Envelope& e, int* actual_source, int* actual_tag) {
   // Message arrival under the alpha-beta model: we cannot observe the data
   // earlier than the sender's clock plus the wire time.
-  const double arrival = e.vtime + world_.network().transfer_seconds(e.payload.size());
+  const double arrival = e.vtime + world_.network().transfer_seconds(e.size());
   if (arrival > state_->vclock) state_->vclock = arrival;
   if (actual_source != nullptr) *actual_source = from_world(e.source);
   if (actual_tag != nullptr) *actual_tag = e.tag;
@@ -195,11 +249,23 @@ Buffer Communicator::deliver(Envelope e, int* actual_source, int* actual_tag) {
   }
   // Blocking in receive costs no CPU, so reset the CPU baseline here.
   state_->last_cpu = thread_cpu_seconds();
-  return std::move(e.payload);
+  return e.payload ? std::move(e.payload) : shared_empty_buffer();
 }
 
-Buffer Communicator::recv(int source, int tag, int* actual_source, int* actual_tag) {
-  obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
+Buffer Communicator::deliver(Envelope e, int* actual_source, int* actual_tag) {
+  // An exclusive payload (plain send, never fanned out or duplicated) is
+  // this envelope's alone by construction, so the bytes can be stolen; a
+  // shared one must be copied — checking the flag instead of use_count()
+  // keeps the decision deterministic and race-free (a sibling receiver may
+  // be dropping its reference concurrently).
+  const bool steal = static_cast<bool>(e.payload) && !e.shared_payload;
+  SharedBuffer data = deliver_shared(e, actual_source, actual_tag);
+  if (steal) return std::move(*const_cast<Buffer*>(data.get()));
+  if (data->empty()) return Buffer{};
+  return pooled_copy(*data);
+}
+
+Envelope Communicator::recv_envelope(int source, int tag) {
   charge_own_cpu();
   const int world_source = source == kAnySource ? kAnySource : to_world(source);
   inject_recv_faults(world_source, tag);
@@ -207,13 +273,10 @@ Buffer Communicator::recv(int source, int tag, int* actual_source, int* actual_t
   const auto wait_start = std::chrono::steady_clock::now();
   Envelope e = world_.mailbox(world_rank_).receive(world_source, tag);
   if (measure) observe_recv_wait(wait_start);
-  span.arg("bytes", static_cast<std::int64_t>(e.payload.size()));
-  return deliver(std::move(e), actual_source, actual_tag);
+  return e;
 }
 
-Buffer Communicator::recv_timeout(int source, int tag, double timeout_seconds, int* actual_source,
-                                  int* actual_tag) {
-  obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
+Envelope Communicator::recv_envelope_timeout(int source, int tag, double timeout_seconds) {
   charge_own_cpu();
   const int world_source = source == kAnySource ? kAnySource : to_world(source);
   inject_recv_faults(world_source, tag);
@@ -229,8 +292,7 @@ Buffer Communicator::recv_timeout(int source, int tag, double timeout_seconds, i
     // its data was on the wire before the death.
     if (auto e = box.try_receive(world_source, tag)) {
       if (measure) observe_recv_wait(start);
-      span.arg("bytes", static_cast<std::int64_t>(e->payload.size()));
-      return deliver(std::move(*e), actual_source, actual_tag);
+      return std::move(*e);
     }
     if (world_source != kAnySource && world_.rank_dead(world_source)) {
       if (obs::trace_enabled()) {
@@ -255,10 +317,39 @@ Buffer Communicator::recv_timeout(int source, int tag, double timeout_seconds, i
     if (auto e = box.receive_for(world_source, tag,
                                  std::chrono::duration_cast<std::chrono::nanoseconds>(slice))) {
       if (measure) observe_recv_wait(start);
-      span.arg("bytes", static_cast<std::int64_t>(e->payload.size()));
-      return deliver(std::move(*e), actual_source, actual_tag);
+      return std::move(*e);
     }
   }
+}
+
+Buffer Communicator::recv(int source, int tag, int* actual_source, int* actual_tag) {
+  obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
+  Envelope e = recv_envelope(source, tag);
+  span.arg("bytes", static_cast<std::int64_t>(e.size()));
+  return deliver(std::move(e), actual_source, actual_tag);
+}
+
+SharedBuffer Communicator::recv_shared(int source, int tag, int* actual_source, int* actual_tag) {
+  obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
+  Envelope e = recv_envelope(source, tag);
+  span.arg("bytes", static_cast<std::int64_t>(e.size()));
+  return deliver_shared(e, actual_source, actual_tag);
+}
+
+Buffer Communicator::recv_timeout(int source, int tag, double timeout_seconds, int* actual_source,
+                                  int* actual_tag) {
+  obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
+  Envelope e = recv_envelope_timeout(source, tag, timeout_seconds);
+  span.arg("bytes", static_cast<std::int64_t>(e.size()));
+  return deliver(std::move(e), actual_source, actual_tag);
+}
+
+SharedBuffer Communicator::recv_shared_timeout(int source, int tag, double timeout_seconds,
+                                               int* actual_source, int* actual_tag) {
+  obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
+  Envelope e = recv_envelope_timeout(source, tag, timeout_seconds);
+  span.arg("bytes", static_cast<std::int64_t>(e.size()));
+  return deliver_shared(e, actual_source, actual_tag);
 }
 
 bool Communicator::peer_alive(int rank) const { return !world_.rank_dead(to_world(rank)); }
@@ -279,14 +370,7 @@ std::optional<Buffer> Communicator::try_recv(int source, int tag, int* actual_so
   const int world_source = source == kAnySource ? kAnySource : to_world(source);
   auto e = world_.mailbox(world_rank_).try_receive(world_source, tag);
   if (!e) return std::nullopt;
-  if (e->flow_id != 0 && obs::trace_enabled()) {
-    obs::TraceCollector::instance().flow_end("msg", "mpi", e->flow_id);
-  }
-  const double arrival = e->vtime + world_.network().transfer_seconds(e->payload.size());
-  if (arrival > state_->vclock) state_->vclock = arrival;
-  if (actual_source != nullptr) *actual_source = from_world(e->source);
-  if (actual_tag != nullptr) *actual_tag = e->tag;
-  return std::move(e->payload);
+  return deliver(std::move(*e), actual_source, actual_tag);
 }
 
 bool Communicator::probe(int source, int tag) const {
@@ -305,40 +389,60 @@ void Communicator::barrier() {
   }
 }
 
-void Communicator::bcast(Buffer& buf, int root) {
-  // Binomial tree rooted at `root`, over rotated ranks.
+void Communicator::bcast_shared(SharedBuffer& data, int root) {
+  // Binomial tree rooted at `root`, over rotated ranks.  Every hop forwards
+  // the same SharedBuffer, so the whole tree moves zero payload bytes.
   const int n = size();
   const int rel = (rank_ - root + n) % n;
-  // Receive from parent (unless root).
   if (rel != 0) {
     int mask = 1;
     while ((rel & mask) == 0) mask <<= 1;
     const int parent_rel = rel & ~mask;
-    buf = recv((parent_rel + root) % n, kBcastTag);
+    data = recv_shared((parent_rel + root) % n, kBcastTag);
     // Children live at rel + m for m below the bit we received on.
     for (int m = mask >> 1; m >= 1; m >>= 1) {
-      if (rel + m < n) send((rel + m + root) % n, kBcastTag, buf);
+      if (rel + m < n) send_shared((rel + m + root) % n, kBcastTag, data);
     }
   } else {
     int top = 1;
     while (top < n) top <<= 1;
     for (int m = top >> 1; m >= 1; m >>= 1) {
-      if (m < n) send((m + root) % n, kBcastTag, buf);
+      if (m < n) send_shared((m + root) % n, kBcastTag, data);
     }
+  }
+}
+
+void Communicator::bcast(Buffer& buf, int root) {
+  // Owning-buffer facade over bcast_shared: the root wraps a copy (its
+  // caller keeps `buf`, while receivers may hold references to the shared
+  // bytes after this call returns), non-roots materialize their own copy.
+  SharedBuffer data;
+  if (rank_ == root && !buf.empty()) data = make_shared_buffer(pooled_copy(buf));
+  bcast_shared(data, root);
+  if (rank_ != root) {
+    buf = data->empty() ? Buffer{} : pooled_copy(*data);
   }
 }
 
 std::vector<Buffer> Communicator::gather(const Buffer& local, int root) {
   const int n = size();
+  const int tag = kGatherTag - gather_epoch_;
+  gather_epoch_ = (gather_epoch_ + 1) % kEpochSlots;
   if (rank_ != root) {
-    send(root, kGatherTag, local);
+    send(root, tag, local);
     return {};
   }
   std::vector<Buffer> all(static_cast<std::size_t>(n));
   all[static_cast<std::size_t>(rank_)] = local;
-  for (int r = 0; r < n; ++r) {
-    if (r == root) continue;
-    all[static_cast<std::size_t>(r)] = recv(r, kGatherTag);
+  // Drain children in completion order instead of fixed rank order: a slow
+  // early rank no longer head-of-line-blocks the fast ones behind it.
+  for (int i = 0; i < n - 1; ++i) {
+    int src = kAnySource;
+    Buffer got = recv(kAnySource, tag, &src);
+    if (src == kAnySource || src == root) {
+      throw std::logic_error("simmpi::gather: unexpected message source");
+    }
+    all[static_cast<std::size_t>(src)] = std::move(got);
   }
   return all;
 }
@@ -362,15 +466,17 @@ std::vector<Buffer> Communicator::alltoall(const std::vector<Buffer>& sends) {
   if (sends.size() != static_cast<std::size_t>(n)) {
     throw std::invalid_argument("simmpi::alltoall: need one buffer per rank");
   }
+  const int tag = kAlltoallTag - alltoall_epoch_;
+  alltoall_epoch_ = (alltoall_epoch_ + 1) % kEpochSlots;
   std::vector<Buffer> recvs(static_cast<std::size_t>(n));
   recvs[static_cast<std::size_t>(rank_)] = sends[static_cast<std::size_t>(rank_)];
   for (int r = 0; r < n; ++r) {
     if (r == rank_) continue;
-    send(r, kAlltoallTag, sends[static_cast<std::size_t>(r)]);
+    send(r, tag, sends[static_cast<std::size_t>(r)]);
   }
   for (int i = 0; i < n - 1; ++i) {
     int src = kAnySource;
-    Buffer got = recv(kAnySource, kAlltoallTag, &src);
+    Buffer got = recv(kAnySource, tag, &src);
     recvs[static_cast<std::size_t>(src)] = std::move(got);
   }
   return recvs;
@@ -388,6 +494,8 @@ Buffer Communicator::reduce(Buffer local,
       if (rel + dist < n) {
         Buffer other = recv(((rel + dist) + root) % n, kReduceTag);
         Buffer merged = combine(local, other);
+        BufferPool::release(std::move(other));
+        BufferPool::release(std::move(local));
         local = std::move(merged);
       }
     } else {

@@ -44,6 +44,13 @@ struct NetworkModel {
 
 class World;
 
+/// Process-wide count of payload bytes physically copied by the transport
+/// (send-side copy-in for lvalue sends, receive-side materialization of
+/// shared fan-out payloads, bcast()'s root wrap).  Always on — the
+/// transport benches diff it around a run to prove fan-out sends share
+/// bytes instead of duplicating them.
+std::uint64_t payload_bytes_copied();
+
 namespace detail {
 /// Per-rank-thread state shared by a world communicator and every
 /// communicator split from it: one clock, one traffic counter.
@@ -68,9 +75,23 @@ class Communicator {
   int world_rank() const { return world_rank_; }
 
   // --- point to point (peer ids are ranks *within this communicator*) -----
-  void send(int dest, int tag, Buffer payload);
+  /// Ships a copy of `payload` (the copy is made once, into a pooled
+  /// buffer, and counted in payload_bytes_copied).  Prefer the rvalue
+  /// overload or send_shared when the bytes need not survive the call.
+  void send(int dest, int tag, const Buffer& payload);
+  /// Zero-copy send: the buffer is moved into a shared payload.
+  void send(int dest, int tag, Buffer&& payload);
+  /// Fan-out send: every destination handed the same SharedBuffer shares
+  /// one immutable serialized payload — serialize once, copy never.
+  /// Receivers still deserialize individually (see simmpi/mailbox.h).
+  void send_shared(int dest, int tag, SharedBuffer payload);
   /// Blocking receive; fills source/tag of the matched message if requested.
   Buffer recv(int source, int tag, int* actual_source = nullptr, int* actual_tag = nullptr);
+  /// Blocking receive that keeps the payload shared: no materializing copy
+  /// even when the sender fanned the same bytes out to several ranks.
+  /// Never null (empty messages yield the canonical empty buffer).
+  SharedBuffer recv_shared(int source, int tag, int* actual_source = nullptr,
+                           int* actual_tag = nullptr);
 
   /// Timed blocking receive: raises the typed PeerUnreachable (simmpi/
   /// fault.h) once `timeout_seconds` pass without a matching message, or as
@@ -79,6 +100,10 @@ class Communicator {
   /// This is the receive every fault-tolerant path is built on.
   Buffer recv_timeout(int source, int tag, double timeout_seconds, int* actual_source = nullptr,
                       int* actual_tag = nullptr);
+
+  /// recv_timeout, but the payload stays shared (see recv_shared).
+  SharedBuffer recv_shared_timeout(int source, int tag, double timeout_seconds,
+                                   int* actual_source = nullptr, int* actual_tag = nullptr);
 
   /// False once `rank` (in this communicator) has been declared dead.
   bool peer_alive(int rank) const;
@@ -131,6 +156,14 @@ class Communicator {
   void barrier();
   /// Root's buffer is distributed to everyone; others' buffers are replaced.
   void bcast(Buffer& buf, int root);
+  /// Shared-payload broadcast: the root's SharedBuffer is handed down the
+  /// binomial tree with every hop *sharing* the same immutable bytes —
+  /// zero payload copies anywhere in the tree.  On return every rank's
+  /// `data` references the root's payload (never null).  This is the
+  /// fan-out primitive the heavy paths (map combination broadcast,
+  /// checkpoint/result distribution) are built on; bcast() wraps it for
+  /// callers that need an owning Buffer.
+  void bcast_shared(SharedBuffer& data, int root);
   /// Rank-ordered buffers at root; empty vector elsewhere.
   std::vector<Buffer> gather(const Buffer& local, int root);
   /// Root distributes chunks[r] to each rank r; returns this rank's chunk.
@@ -201,8 +234,21 @@ class Communicator {
   /// Consults the World's FaultInjector for a receive-side rule (kill or
   /// delay) before blocking on the mailbox.
   void inject_recv_faults(int world_source, int tag);
+  /// The one send path: fault injection, traffic accounting, trace flow
+  /// start, and the mailbox post.  `shared` marks the payload as
+  /// potentially multi-referenced so receivers copy instead of steal.
+  void send_envelope(int dest, int tag, SharedBuffer payload, bool shared);
+  /// Blocking matched-envelope wait shared by recv / recv_shared.
+  Envelope recv_envelope(int source, int tag);
+  /// Timed wait shared by recv_timeout / recv_shared_timeout; raises
+  /// PeerUnreachable on deadline or a dead awaited peer.
+  Envelope recv_envelope_timeout(int source, int tag, double timeout_seconds);
   /// Folds a matched envelope's arrival time into the clock and hands the
-  /// payload out (shared by recv / try_recv / recv_timeout).
+  /// payload out still shared (common to every recv flavour).
+  SharedBuffer deliver_shared(Envelope& e, int* actual_source, int* actual_tag);
+  /// deliver_shared + materialize an owning Buffer: moves the bytes out when
+  /// this envelope is the payload's only reference (plain sends), copies —
+  /// and counts the copy — when the payload is shared (fan-out/duplicate).
   Buffer deliver(Envelope e, int* actual_source, int* actual_tag);
 
   World& world_;
@@ -210,6 +256,13 @@ class Communicator {
   int rank_;                ///< rank within group_ (== world_rank_ for world view)
   std::vector<int> group_;  ///< group rank -> world rank; empty = world view
   std::shared_ptr<detail::RankState> state_;
+  /// Round counters for the any-source collectives (gather, alltoall):
+  /// each call stamps its messages with an epoch-suffixed tag so a fast
+  /// rank's next-round message cannot be consumed by a root still draining
+  /// the previous round.  Collectives are called in the same order on every
+  /// rank, so the counters stay in lockstep without coordination.
+  int gather_epoch_ = 0;
+  int alltoall_epoch_ = 0;
 };
 
 template <typename T>

@@ -1,31 +1,102 @@
 #include "simmpi/mailbox.h"
 
+#include "obs/metrics.h"
+
 namespace smart::simmpi {
 
+namespace {
+/// Lane-depth buckets for simmpi.lane_depth (messages queued in the posted
+/// lane, including the new one): 1 .. 256 in octaves.
+const std::vector<double>& lane_depth_bounds() {
+  static const std::vector<double> bounds{1, 2, 4, 8, 16, 32, 64, 128, 256};
+  return bounds;
+}
+}  // namespace
+
 void Mailbox::post(Envelope e) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(e));
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = next_seq_++;
+  const int source = e.source;
+  const int tag = e.tag;
+  Lane& lane = lanes_[lane_key(source, tag)];
+  lane.source = source;
+  lane.tag = tag;
+  lane.q.push_back(std::move(e));
+  ++pending_;
+  if (obs::metrics_enabled()) {
+    static obs::FixedHistogram& depth =
+        obs::MetricsRegistry::global().histogram("simmpi.lane_depth", lane_depth_bounds());
+    static obs::Gauge& lanes = obs::MetricsRegistry::global().gauge("simmpi.mailbox_lanes");
+    depth.observe(static_cast<double>(lane.q.size()));
+    lanes.update_max(static_cast<double>(lanes_.size()));
   }
-  cv_.notify_all();
+  // Wake one receiver this message can satisfy.  Waiters blocked with
+  // signaled == false have already verified (under this mutex) that nothing
+  // queued matches them, so the new message is the only thing a matching
+  // one could take — signaling a single waiter per post is lossless, and
+  // non-matching receivers stay asleep.  Notifying under the lock is
+  // deliberate: the Waiter lives on the receiver's stack and may be
+  // deregistered (and destroyed) the moment the mutex is released.
+  for (Waiter* w : waiters_) {
+    if (!w->signaled && selector_matches(w->source, w->tag, source, tag)) {
+      w->signaled = true;
+      w->cv.notify_one();
+      break;
+    }
+  }
 }
 
 std::optional<Envelope> Mailbox::take_locked(int source, int tag) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (matches(*it, source, tag)) {
-      Envelope e = std::move(*it);
-      queue_.erase(it);
-      return e;
+  if (lanes_.empty()) return std::nullopt;
+  auto pop_lane = [&](std::unordered_map<std::uint64_t, Lane>::iterator it) {
+    Envelope e = std::move(it->second.q.front());
+    it->second.q.pop_front();
+    --pending_;
+    // Erase drained lanes: collective tags descend every round, so keeping
+    // empty lanes around would grow the table without bound.
+    if (it->second.q.empty()) lanes_.erase(it);
+    return e;
+  };
+  if (source != kAnySource && tag != kAnyTag) {
+    const auto it = lanes_.find(lane_key(source, tag));
+    if (it == lanes_.end()) return std::nullopt;
+    return pop_lane(it);
+  }
+  // Wildcard receive: earliest arrival among the matching lanes' heads.
+  auto best = lanes_.end();
+  for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+    if (!selector_matches(source, tag, it->second.source, it->second.tag)) continue;
+    if (best == lanes_.end() || it->second.q.front().seq < best->second.q.front().seq) {
+      best = it;
     }
   }
-  return std::nullopt;
+  if (best == lanes_.end()) return std::nullopt;
+  return pop_lane(best);
+}
+
+void Mailbox::unregister_locked(Waiter* w) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (*it == w) {
+      waiters_.erase(it);
+      return;
+    }
+  }
 }
 
 Envelope Mailbox::receive(int source, int tag) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (auto e = take_locked(source, tag)) return std::move(*e);
+  Waiter w{source, tag};
+  waiters_.push_back(&w);
   for (;;) {
-    if (auto e = take_locked(source, tag)) return std::move(*e);
-    cv_.wait(lock);
+    w.cv.wait(lock, [&] { return w.signaled; });
+    w.signaled = false;
+    if (auto e = take_locked(source, tag)) {
+      unregister_locked(&w);
+      return std::move(*e);
+    }
+    // Woken (signal or poke) but the message is gone or never matched:
+    // re-arm and wait again.
   }
 }
 
@@ -33,17 +104,32 @@ std::optional<Envelope> Mailbox::receive_for(int source, int tag,
                                              std::chrono::nanoseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(mu_);
+  if (auto e = take_locked(source, tag)) return e;
+  Waiter w{source, tag};
+  waiters_.push_back(&w);
   for (;;) {
-    if (auto e = take_locked(source, tag)) return e;
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      // One last look: the message may have been posted between the final
-      // wake-up and the deadline check.
-      return take_locked(source, tag);
+    if (!w.cv.wait_until(lock, deadline, [&] { return w.signaled; })) {
+      // Deadline passed with no signal.  One last look: the message may
+      // have been posted between the final wake-up and the deadline check.
+      auto e = take_locked(source, tag);
+      unregister_locked(&w);
+      return e;
+    }
+    w.signaled = false;
+    if (auto e = take_locked(source, tag)) {
+      unregister_locked(&w);
+      return e;
     }
   }
 }
 
-void Mailbox::poke() { cv_.notify_all(); }
+void Mailbox::poke() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Waiter* w : waiters_) {
+    w->signaled = true;
+    w->cv.notify_one();
+  }
+}
 
 std::optional<Envelope> Mailbox::try_receive(int source, int tag) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -52,15 +138,23 @@ std::optional<Envelope> Mailbox::try_receive(int source, int tag) {
 
 bool Mailbox::has_match(int source, int tag) const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& e : queue_) {
-    if (matches(e, source, tag)) return true;
+  if (source != kAnySource && tag != kAnyTag) {
+    return lanes_.find(lane_key(source, tag)) != lanes_.end();
+  }
+  for (const auto& [key, lane] : lanes_) {
+    if (selector_matches(source, tag, lane.source, lane.tag)) return true;
   }
   return false;
 }
 
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return pending_;
+}
+
+std::size_t Mailbox::lane_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_.size();
 }
 
 }  // namespace smart::simmpi

@@ -1,13 +1,21 @@
 // Per-rank mailbox: the only channel through which simmpi ranks exchange
 // data.  Payloads are serialized byte buffers, so anything crossing a rank
 // boundary pays the same serialization cost it would pay under real MPI.
+// Fan-out sends may *share* one immutable serialized payload across
+// destinations (SharedBuffer): the bytes were still produced by exactly one
+// serialize pass per logical message and every receiver still deserializes
+// them independently, so the fidelity rule above is preserved — only the
+// redundant per-child byte copies are gone.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "common/serialize.h"
 
@@ -22,13 +30,32 @@ struct Envelope {
   int source = 0;
   int tag = 0;
   double vtime = 0.0;
-  Buffer payload;
+  /// Serialized bytes; null means an empty payload.  Immutable once posted.
+  SharedBuffer payload;
   std::uint64_t flow_id = 0;  ///< nonzero links send→recv trace flow events
+  /// Arrival order within the destination mailbox (assigned by post);
+  /// any-source receives merge lanes by this, preserving global FIFO.
+  std::uint64_t seq = 0;
+  /// True when the payload is (or may be) referenced by other envelopes —
+  /// a fan-out send or a duplicated fault.  Receivers must copy rather
+  /// than steal the bytes when materializing an owning Buffer.
+  bool shared_payload = false;
+
+  std::size_t size() const { return payload ? payload->size() : 0; }
+  const Buffer& bytes() const { return payload ? *payload : *shared_empty_buffer(); }
 };
 
-/// MPMC queue with MPI-style (source, tag) matching.  Matching is FIFO
-/// among messages that satisfy the selector, which preserves MPI's
-/// non-overtaking guarantee per (source, tag) pair.
+/// MPMC queue with MPI-style (source, tag) matching.
+///
+/// Messages are sharded into per-(source, tag) *lanes*: an exact receive
+/// indexes its lane directly instead of scanning every pending message, a
+/// wildcard receive merges the (few) active lanes by arrival sequence
+/// number, and FIFO per (source, tag) — MPI's non-overtaking guarantee —
+/// holds trivially because a lane is a FIFO.  Blocked receivers register a
+/// per-waiter selector, and post() wakes only a receiver whose selector
+/// can match the new message (one per message — an unsignaled waiter has,
+/// by construction, already verified nothing queued matches it), replacing
+/// the old notify_all stampede that woke every receiver for every post.
 class Mailbox {
  public:
   void post(Envelope e);
@@ -55,17 +82,45 @@ class Mailbox {
 
   std::size_t pending() const;
 
+  /// Active (non-empty) lanes; lanes are erased as they drain, so this is
+  /// the number of distinct (source, tag) pairs with messages queued.
+  std::size_t lane_count() const;
+
  private:
-  static bool matches(const Envelope& e, int source, int tag) {
-    return (source == kAnySource || e.source == source) &&
-           (tag == kAnyTag || e.tag == tag);
+  struct Lane {
+    int source = 0;
+    int tag = 0;
+    std::deque<Envelope> q;
+  };
+
+  /// One blocked receiver: its selector plus a private wake token, so a
+  /// post can signal exactly the receivers its message can satisfy.
+  struct Waiter {
+    Waiter(int source_sel, int tag_sel) : source(source_sel), tag(tag_sel) {}
+    int source;
+    int tag;
+    std::condition_variable cv;
+    bool signaled = false;
+  };
+
+  static bool selector_matches(int sel_source, int sel_tag, int source, int tag) {
+    return (sel_source == kAnySource || sel_source == source) &&
+           (sel_tag == kAnyTag || sel_tag == tag);
+  }
+
+  static std::uint64_t lane_key(int source, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source)) << 32) |
+           static_cast<std::uint32_t>(tag);
   }
 
   std::optional<Envelope> take_locked(int source, int tag);
+  void unregister_locked(Waiter* w);
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Envelope> queue_;
+  std::unordered_map<std::uint64_t, Lane> lanes_;
+  std::vector<Waiter*> waiters_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;
 };
 
 }  // namespace smart::simmpi

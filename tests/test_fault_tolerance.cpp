@@ -155,10 +155,14 @@ TEST(TimedReceive, MailboxReceiveForTimesOutAndDelivers) {
   EXPECT_FALSE(box.receive_for(simmpi::kAnySource, 7, std::chrono::milliseconds(20)).has_value());
   EXPECT_GE(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(20));
 
-  box.post({/*source=*/2, /*tag=*/7, /*vtime=*/0.0, Buffer{std::byte{42}}});
+  simmpi::Envelope e;
+  e.source = 2;
+  e.tag = 7;
+  e.payload = make_shared_buffer(Buffer{std::byte{42}});
+  box.post(std::move(e));
   const auto got = box.receive_for(2, 7, std::chrono::milliseconds(20));
   ASSERT_TRUE(got.has_value());
-  EXPECT_EQ(got->payload.size(), 1u);
+  EXPECT_EQ(got->size(), 1u);
 }
 
 TEST(TimedReceive, LateMessageStillDelivered) {

@@ -19,12 +19,14 @@ TEST(Mailbox, FifoWithinTag) {
     Envelope e;
     e.source = 0;
     e.tag = 7;
-    Writer(e.payload).write(i);
+    Buffer b;
+    Writer(b).write(i);
+    e.payload = make_shared_buffer(std::move(b));
     box.post(std::move(e));
   }
   for (int i = 0; i < 3; ++i) {
     Envelope e = box.receive(0, 7);
-    EXPECT_EQ(Reader(e.payload).read<int>(), i);
+    EXPECT_EQ(Reader(e.bytes()).read<int>(), i);
   }
 }
 
@@ -34,16 +36,18 @@ TEST(Mailbox, SelectiveMatchingBySourceAndTag) {
     Envelope e;
     e.source = src;
     e.tag = tag;
-    Writer(e.payload).write(val);
+    Buffer b;
+    Writer(b).write(val);
+    e.payload = make_shared_buffer(std::move(b));
     box.post(std::move(e));
   };
   post(1, 10, 100);
   post(2, 10, 200);
   post(1, 20, 300);
 
-  EXPECT_EQ(Reader(box.receive(2, 10).payload).read<int>(), 200);
-  EXPECT_EQ(Reader(box.receive(1, 20).payload).read<int>(), 300);
-  EXPECT_EQ(Reader(box.receive(1, 10).payload).read<int>(), 100);
+  EXPECT_EQ(Reader(box.receive(2, 10).bytes()).read<int>(), 200);
+  EXPECT_EQ(Reader(box.receive(1, 20).bytes()).read<int>(), 300);
+  EXPECT_EQ(Reader(box.receive(1, 10).bytes()).read<int>(), 100);
   EXPECT_EQ(box.pending(), 0u);
 }
 

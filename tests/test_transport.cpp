@@ -1,0 +1,380 @@
+// Transport-invariant tests for the sharded-mailbox / shared-payload /
+// pooled-buffer data plane (run under TSan by scripts/check.sh):
+//   * MPI's non-overtaking guarantee — FIFO per (source, tag) — under
+//     multi-producer contention,
+//   * any-source receives merge lanes by arrival order (no lane starves),
+//   * receive_for's deadline racing a concurrent post never loses or
+//     duplicates a message,
+//   * collectives at non-power-of-two sizes (n = 3, 5, 7), including
+//     back-to-back any-source gathers with a lagging root,
+//   * shared fan-out payloads move zero bytes (bcast_shared) while the
+//     duplicate fault shares one payload instead of deep-copying it,
+//   * BufferPool recycling, retention bounds, and counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "simmpi/world.h"
+
+namespace smart::simmpi {
+namespace {
+
+Envelope make_envelope(int source, int tag, int value) {
+  Envelope e;
+  e.source = source;
+  e.tag = tag;
+  Buffer b;
+  Writer(b).write(value);
+  e.payload = make_shared_buffer(std::move(b));
+  return e;
+}
+
+int envelope_value(const Envelope& e) { return Reader(e.bytes()).read<int>(); }
+
+TEST(TransportMailbox, FifoPerSourceTagUnderContention) {
+  // kProducers threads hammer one mailbox concurrently; a consumer doing
+  // exact-source receives must see each producer's values strictly in
+  // order, no matter how the posts interleave.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  constexpr int kTag = 3;
+  Mailbox box;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) box.post(make_envelope(p, kTag, i));
+    });
+  }
+  std::vector<int> next(kProducers, 0);
+  for (int n = 0; n < kProducers * kPerProducer; ++n) {
+    const Envelope e = box.receive(kAnySource, kTag);
+    ASSERT_EQ(envelope_value(e), next[static_cast<std::size_t>(e.source)]++)
+        << "message from source " << e.source << " overtook an earlier one";
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(box.pending(), 0u);
+  EXPECT_EQ(box.lane_count(), 0u);
+}
+
+TEST(TransportMailbox, ExactSourceReceiveIgnoresOtherLanes) {
+  // Concurrent consumers, one per source, each draining its own lane while
+  // producers keep posting — exact matching never crosses lanes.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 400;
+  Mailbox box;
+  std::vector<std::thread> workers;
+  for (int p = 0; p < kProducers; ++p) {
+    workers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) box.post(make_envelope(p, p, i));
+    });
+    workers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const Envelope e = box.receive(p, p);
+        ASSERT_EQ(e.source, p);
+        ASSERT_EQ(envelope_value(e), i);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(TransportMailbox, AnySourceMergesLanesByArrivalOrder) {
+  // Messages across several (source, tag) lanes, posted from one thread:
+  // wildcard receives must replay the exact posting order — a deep lane
+  // cannot starve or overtake a shallow one.
+  Mailbox box;
+  const int sources[] = {2, 0, 2, 2, 1, 0, 1, 2};
+  for (int i = 0; i < 8; ++i) box.post(make_envelope(sources[i], sources[i] + 10, i));
+  for (int i = 0; i < 8; ++i) {
+    const Envelope e = box.receive(kAnySource, kAnyTag);
+    EXPECT_EQ(envelope_value(e), i) << "arrival order broken at " << i;
+  }
+}
+
+TEST(TransportMailbox, AnySourceWithTagFilterSkipsOtherTags) {
+  Mailbox box;
+  box.post(make_envelope(0, 1, 100));  // stale control message, other tag
+  box.post(make_envelope(1, 7, 200));
+  box.post(make_envelope(0, 7, 300));
+  const Envelope first = box.receive(kAnySource, 7);
+  EXPECT_EQ(envelope_value(first), 200);
+  const Envelope second = box.receive(kAnySource, 7);
+  EXPECT_EQ(envelope_value(second), 300);
+  EXPECT_TRUE(box.has_match(0, 1));
+  EXPECT_EQ(box.pending(), 1u);
+}
+
+TEST(TransportMailbox, ReceiveForTimeoutRacingPostNeverLosesMessages) {
+  // The classic waiter race: the deadline expires in the same instant a
+  // post signals the waiter.  Whatever side wins, the message must be
+  // delivered exactly once (either by receive_for's last look or by a
+  // follow-up try_receive).
+  constexpr int kRounds = 300;
+  Mailbox box;
+  Rng rng(77);
+  int delivered = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto post_delay = std::chrono::microseconds(rng.uniform_int(0, 1500));
+    std::thread poster([&box, post_delay, round] {
+      std::this_thread::sleep_for(post_delay);
+      box.post(make_envelope(0, 9, round));
+    });
+    auto got = box.receive_for(0, 9, std::chrono::microseconds(800));
+    poster.join();
+    if (!got) got = box.try_receive(0, 9);  // poster has definitely posted by now
+    ASSERT_TRUE(got.has_value()) << "message lost in round " << round;
+    ASSERT_EQ(envelope_value(*got), round);
+    ++delivered;
+    ASSERT_EQ(box.pending(), 0u) << "duplicate delivery in round " << round;
+  }
+  EXPECT_EQ(delivered, kRounds);
+}
+
+TEST(TransportMailbox, PostWakesOnlyMatchingWaiter) {
+  // Two blocked receivers with disjoint selectors: a post matching the
+  // second must complete it while the first stays blocked until its own
+  // message arrives.
+  Mailbox box;
+  std::atomic<int> done{0};
+  std::thread want_tag1([&] {
+    (void)box.receive(0, 1);
+    done.fetch_add(1);
+  });
+  std::thread want_tag2([&] {
+    (void)box.receive(0, 2);
+    done.fetch_add(10);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.post(make_envelope(0, 2, 0));
+  want_tag2.join();
+  EXPECT_EQ(done.load(), 10);
+  box.post(make_envelope(0, 1, 0));
+  want_tag1.join();
+  EXPECT_EQ(done.load(), 11);
+}
+
+TEST(TransportCollectives, OddSizesAgainstSerialReferences) {
+  for (const int n : {3, 5, 7}) {
+    launch(n, [n](Communicator& comm) {
+      const int rank = comm.rank();
+      // bcast from a non-zero root.
+      Buffer buf;
+      if (rank == n - 1) Writer(buf).write(4242);
+      comm.bcast(buf, n - 1);
+      EXPECT_EQ(Reader(buf).read<int>(), 4242);
+
+      // gather to a middle root: contents indexed by true source even
+      // though arrivals complete in any order.
+      Buffer mine;
+      Writer(mine).write(rank * 11);
+      const auto all = comm.gather(mine, n / 2);
+      if (rank == n / 2) {
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r) {
+          EXPECT_EQ(Reader(all[static_cast<std::size_t>(r)]).read<int>(), r * 11);
+        }
+      } else {
+        EXPECT_TRUE(all.empty());
+      }
+
+      // scatter from rank 0.
+      std::vector<Buffer> chunks;
+      if (rank == 0) {
+        for (int r = 0; r < n; ++r) {
+          Buffer c;
+          Writer(c).write(r + 1000);
+          chunks.push_back(std::move(c));
+        }
+      }
+      Buffer chunk = comm.scatter(chunks, 0);
+      EXPECT_EQ(Reader(chunk).read<int>(), rank + 1000);
+
+      // alltoall.
+      std::vector<Buffer> sends;
+      for (int r = 0; r < n; ++r) {
+        Buffer s;
+        Writer(s).write(rank * 100 + r);
+        sends.push_back(std::move(s));
+      }
+      const auto got = comm.alltoall(sends);
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(Reader(got[static_cast<std::size_t>(r)]).read<int>(), r * 100 + rank);
+      }
+
+      // allreduce sum, tree and ring, against the closed form.
+      std::vector<double> v(16);
+      std::iota(v.begin(), v.end(), static_cast<double>(rank));
+      const auto tree_sum = comm.allreduce_sum(v);
+      const auto ring_sum = comm.allreduce_sum_ring(v);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        const double expect = n * static_cast<double>(i) + n * (n - 1) / 2.0;
+        EXPECT_DOUBLE_EQ(tree_sum[i], expect);
+        EXPECT_DOUBLE_EQ(ring_sum[i], expect);
+      }
+      EXPECT_EQ(comm.allreduce_max(rank), n - 1);
+      comm.barrier();
+    });
+  }
+}
+
+TEST(TransportCollectives, BackToBackGathersWithLaggingRoot) {
+  // The any-source gather satellite's hazard case: non-root ranks sprint
+  // through several gathers while the root lags.  Epoch-suffixed tags must
+  // keep each round's messages from leaking into the previous round.
+  constexpr int kRounds = 6;
+  launch(5, [](Communicator& comm) {
+    for (int round = 0; round < kRounds; ++round) {
+      if (comm.rank() == 0 && round == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      Buffer mine;
+      Writer(mine).write(round * 100 + comm.rank());
+      const auto all = comm.gather(mine, 0);
+      if (comm.rank() == 0) {
+        for (int r = 0; r < comm.size(); ++r) {
+          ASSERT_EQ(Reader(all[static_cast<std::size_t>(r)]).read<int>(), round * 100 + r)
+              << "round " << round << " picked up a message from another round";
+        }
+      }
+    }
+  });
+}
+
+TEST(TransportSharedPayload, BcastSharedMovesZeroBytes) {
+  static constexpr std::size_t kPayload = 1u << 20;
+  launch(8, [](Communicator& comm) {
+    comm.barrier();
+    const std::uint64_t before = payload_bytes_copied();
+    SharedBuffer data;
+    if (comm.rank() == 0) {
+      data = make_shared_buffer(Buffer(kPayload, std::byte{0x5a}));
+    }
+    comm.bcast_shared(data, 0);
+    ASSERT_TRUE(data != nullptr);
+    ASSERT_EQ(data->size(), kPayload);
+    EXPECT_EQ((*data)[kPayload / 2], std::byte{0x5a});
+    comm.barrier();
+    // The whole 8-rank tree shares one immutable payload: no copy anywhere
+    // (barrier messages are empty, so they cannot disturb the counter).
+    if (comm.rank() == 0) EXPECT_EQ(payload_bytes_copied() - before, 0u);
+  });
+}
+
+TEST(TransportSharedPayload, OwnedBcastMaterializesPerRankOnly) {
+  // The owning-buffer bcast facade costs one copy at the root (the caller
+  // keeps its buffer) and one materializing copy per non-root — never a
+  // copy per tree edge.
+  static constexpr std::size_t kPayload = 64u * 1024;
+  static constexpr int kRanks = 8;
+  launch(kRanks, [](Communicator& comm) {
+    comm.barrier();
+    const std::uint64_t before = payload_bytes_copied();
+    Buffer buf;
+    if (comm.rank() == 0) buf.assign(kPayload, std::byte{9});
+    comm.bcast(buf, 0);
+    ASSERT_EQ(buf.size(), kPayload);
+    EXPECT_EQ(buf[1], std::byte{9});
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(payload_bytes_copied() - before, static_cast<std::uint64_t>(kRanks) * kPayload);
+    }
+  });
+}
+
+TEST(TransportSharedPayload, DuplicateFaultSharesOnePayload) {
+  static constexpr std::size_t kPayload = 1u << 18;
+  auto faults = std::make_shared<FaultInjector>();
+  FaultRule rule;
+  rule.op = FaultOp::kSend;
+  rule.rank = 0;
+  rule.peer = 1;
+  rule.tag = 5;
+  rule.action = FaultAction::kDuplicate;
+  rule.max_fires = 1;
+  faults->add_rule(rule);
+  const std::uint64_t before = payload_bytes_copied();
+  launch(2,
+         [](Communicator& comm) {
+           if (comm.rank() == 0) {
+             comm.send(1, 5, Buffer(kPayload, std::byte{7}));
+           } else {
+             const SharedBuffer a = comm.recv_shared(0, 5);
+             const SharedBuffer b = comm.recv_shared(0, 5);
+             ASSERT_TRUE(a && b);
+             EXPECT_EQ(a->size(), kPayload);
+             EXPECT_EQ(*a, *b);
+           }
+         },
+         NetworkModel{}, faults);
+  // An owning send moves its buffer into the envelope, the duplicated
+  // envelope bumps the refcount, and both shared receives hand the same
+  // bytes out — zero payload copies end to end.
+  EXPECT_EQ(payload_bytes_copied() - before, 0u);
+}
+
+TEST(TransportBufferPool, AcquireReleaseRoundTripHitsPool) {
+  BufferPool::drain_thread_cache();
+  const auto t0 = BufferPool::totals();
+  Buffer a = BufferPool::acquire(4096);
+  const std::byte* storage = a.data() == nullptr ? nullptr : a.data();
+  a.resize(4096);
+  BufferPool::release(std::move(a));
+  Buffer b = BufferPool::acquire(4096);
+  EXPECT_TRUE(b.empty());
+  EXPECT_GE(b.capacity(), 4096u);
+  if (storage != nullptr) EXPECT_EQ(b.data(), storage);  // same allocation came back
+  const auto t1 = BufferPool::totals();
+  EXPECT_EQ(t1.hits - t0.hits, 1u);
+  EXPECT_GE(t1.releases_pooled - t0.releases_pooled, 1u);
+  EXPECT_GE(t1.bytes_recycled - t0.bytes_recycled, 4096u);
+  BufferPool::drain_thread_cache();
+}
+
+TEST(TransportBufferPool, PooledBufferAlwaysCoversRequest) {
+  BufferPool::drain_thread_cache();
+  // A released 300-capacity buffer lands in the 256-class; a later request
+  // for 500 must NOT be served by it.
+  Buffer small;
+  small.reserve(300);
+  BufferPool::release(std::move(small));
+  Buffer big = BufferPool::acquire(500);
+  EXPECT_GE(big.capacity(), 500u);
+  BufferPool::drain_thread_cache();
+}
+
+TEST(TransportBufferPool, RetentionIsBounded) {
+  BufferPool::drain_thread_cache();
+  for (std::size_t i = 0; i < BufferPool::kMaxPerClass + 5; ++i) {
+    Buffer b;
+    b.reserve(1024);
+    BufferPool::release(std::move(b));
+  }
+  EXPECT_LE(BufferPool::thread_retained_count(), BufferPool::kMaxPerClass);
+  // Oversize buffers are never retained.
+  Buffer huge;
+  huge.reserve(BufferPool::kMaxPooledCapacity + 1);
+  const auto before = BufferPool::thread_retained_count();
+  BufferPool::release(std::move(huge));
+  EXPECT_EQ(BufferPool::thread_retained_count(), before);
+  BufferPool::drain_thread_cache();
+  EXPECT_EQ(BufferPool::thread_retained_count(), 0u);
+}
+
+TEST(TransportBufferPool, OversizeAcquireBypassesPool) {
+  const auto t0 = BufferPool::totals();
+  Buffer huge = BufferPool::acquire(BufferPool::kMaxPooledCapacity + 1);
+  EXPECT_GE(huge.capacity(), BufferPool::kMaxPooledCapacity + 1);
+  const auto t1 = BufferPool::totals();
+  EXPECT_EQ(t1.misses - t0.misses, 1u);
+}
+
+}  // namespace
+}  // namespace smart::simmpi
