@@ -101,6 +101,22 @@ int run(const ArgParser& args) {
     throw std::invalid_argument("--mode must be 'time' or 'space'");
   }
 
+  // Interconnect model: SMART_NET_* environment first, explicit flags win.
+  simmpi::NetworkConfig net_cfg = simmpi::NetworkConfig::from_env();
+  if (args.has("net-model")) net_cfg.model = args.get("net-model");
+  if (args.has("net-alpha")) net_cfg.alpha_seconds = args.get_double("net-alpha");
+  if (args.has("net-beta")) net_cfg.beta_bytes_per_second = args.get_double("net-beta");
+  if (args.has("ranks-per-node")) {
+    net_cfg.ranks_per_node = static_cast<int>(args.get_long("ranks-per-node"));
+  }
+  if (args.has("net-lane-cap")) {
+    net_cfg.lane_capacity_msgs = static_cast<std::size_t>(args.get_long("net-lane-cap"));
+  }
+  if (args.has("net-lane-cap-bytes")) {
+    net_cfg.lane_capacity_bytes = static_cast<std::size_t>(args.get_long("net-lane-cap-bytes"));
+  }
+  const auto net = simmpi::make_network_model(net_cfg);
+
   const std::string trace_out = args.has("trace-out") ? args.get("trace-out") : "";
   const std::string metrics_out = args.has("metrics-out") ? args.get("metrics-out") : "";
   const std::string phase_csv = args.has("phase-csv") ? args.get("phase-csv") : "";
@@ -221,7 +237,7 @@ int run(const ArgParser& args) {
         std::fprintf(stderr, "error: could not write metrics to %s\n", metrics_out.c_str());
       }
     }
-  });
+  }, net);
 
   if (!phase_csv.empty()) {
     std::ofstream os(phase_csv);
@@ -233,9 +249,9 @@ int run(const ArgParser& args) {
     }
   }
 
-  std::printf("wall %.3f s, virtual makespan %.4f s, network %s across %d rank(s)\n",
-              wall.seconds(), stats.makespan(), format_bytes(stats.total_bytes_sent()).c_str(),
-              ranks);
+  std::printf("wall %.3f s, virtual makespan %.4f s (%s model), network %s across %d rank(s)\n",
+              wall.seconds(), stats.makespan(), net->name(),
+              format_bytes(stats.total_bytes_sent()).c_str(), ranks);
   return 0;
 }
 
@@ -254,6 +270,12 @@ int main(int argc, char** argv) {
       .option("trace-out", "write a Chrome/Perfetto trace of the run to this JSON path")
       .option("metrics-out", "write the aggregated metrics snapshot to this JSON path")
       .option("phase-csv", "write the scheduler's per-phase timeline to this CSV path")
+      .option("net-model", "interconnect cost model: flat | fattree | dragonfly")
+      .option("net-alpha", "per-message latency in seconds")
+      .option("net-beta", "access-link bandwidth in bytes/second")
+      .option("ranks-per-node", "ranks sharing one simulated node")
+      .option("net-lane-cap", "mailbox lane capacity in messages (0 = unbounded)")
+      .option("net-lane-cap-bytes", "mailbox lane capacity in bytes (0 = unbounded)")
       .flag("list", "print available simulations and analytics");
   try {
     args.parse(argc, argv);

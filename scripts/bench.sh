@@ -27,9 +27,17 @@
 #     copies vs one shared immutable payload, with a
 #     payload_bytes_copied_per_bcast counter;
 #   * BM_FreshBufferPerMessage vs BM_PooledBufferPerMessage — BufferPool
-#     recycling against a fresh allocation per message.
+#     recycling against a fresh allocation per message;
+#   * BM_UnboundedSlowReceiverPeakBytes vs BM_BoundedSlowReceiverPeakBytes —
+#     peak queued mailbox bytes under a slow receiver, unbounded lanes vs
+#     lane-capacity backpressure (peak_mailbox_bytes counter);
+#   * BM_TopologyMakespanFlat / FatTree / Dragonfly — the same compute +
+#     allreduce workload priced by each network cost model
+#     (virtual_makespan_s counter; simmpi/network.h).
 #
-# Numbers are container-relative; compare runs from the same machine only.
+# Numbers are container-relative; compare runs from the same machine only —
+# except the before/after *ratios* within one file, which scripts/check.sh
+# gates on via scripts/bench_gate.py.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

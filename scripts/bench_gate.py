@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Bench regression gate over the committed transport before/after pairs.
+
+Wall-clock numbers from a shared container are too noisy to gate on
+directly, so the gate compares *pair ratios* instead: each committed
+before/after pair (legacy vs current implementation, measured in the same
+process seconds apart) yields new_time/legacy_time, a machine-relative
+speedup that is stable across hosts.  A fresh run whose ratio degrades more
+than the slack factor against the committed BENCH_transport.json means the
+"after" side genuinely slowed down relative to its own baseline.
+
+Usage: bench_gate.py <committed.json> <fresh.json> [slack]
+
+Exits nonzero when any pair regresses past the slack (default 1.25: a
+fresh ratio more than 25% worse than the committed one fails).  Pairs
+missing from either file are reported and skipped, not failed, so the gate
+tolerates filter changes and freshly added benches.
+"""
+
+import json
+import sys
+
+# (legacy benchmark, current benchmark): names as emitted by
+# bench/micro_transport.cpp, including the /arg suffixes.
+PAIRS = [
+    ("BM_LegacyAnySourceFanIn/4096/16", "BM_ShardedAnySourceFanIn/4096/16"),
+    ("BM_LegacyAnySourceFanIn/16384/16", "BM_ShardedAnySourceFanIn/16384/16"),
+    ("BM_LegacyExactSourceRecv/4096", "BM_ShardedExactSourceRecv/4096"),
+    ("BM_LegacyBcast1MiB8Ranks", "BM_SharedBcast1MiB8Ranks"),
+    ("BM_FreshBufferPerMessage/65536", "BM_PooledBufferPerMessage/65536"),
+    ("BM_FreshBufferPerMessage/1048576", "BM_PooledBufferPerMessage/1048576"),
+]
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """name -> real_time in ns (aggregates skipped; first run of each name wins)."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if name in times:
+            continue
+        times[name] = b["real_time"] * _UNIT_NS[b.get("time_unit", "ns")]
+    return times
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    committed = load_times(argv[1])
+    fresh = load_times(argv[2])
+    slack = float(argv[3]) if len(argv) == 4 else 1.25
+
+    failures = []
+    checked = 0
+    for legacy, current in PAIRS:
+        missing = [n for n in (legacy, current) if n not in committed or n not in fresh]
+        if missing:
+            print(f"   gate skip: {current} (missing: {', '.join(missing)})")
+            continue
+        committed_ratio = committed[current] / committed[legacy]
+        fresh_ratio = fresh[current] / fresh[legacy]
+        checked += 1
+        verdict = "ok"
+        if fresh_ratio > slack * committed_ratio:
+            verdict = "REGRESSED"
+            failures.append(current)
+        print(
+            f"   gate {verdict}: {current} ratio {fresh_ratio:.3f} "
+            f"(committed {committed_ratio:.3f}, limit {slack * committed_ratio:.3f})"
+        )
+
+    if failures:
+        print(f"bench gate: {len(failures)} pair(s) regressed >{(slack - 1) * 100:.0f}%: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    if checked == 0:
+        print("bench gate: no comparable pairs found", file=sys.stderr)
+        return 1
+    print(f"   bench gate ok: {checked} pair(s) within {(slack - 1) * 100:.0f}% of committed ratios")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -100,11 +100,28 @@ bench_json="$repo/build/check_bench.json"
 python3 -m json.tool "$bench_json" >/dev/null
 bench_transport_json="$repo/build/check_bench_transport.json"
 "$repo/build/bench/micro_transport" \
-  --benchmark_filter='BM_ShardedAnySourceFanIn|BM_PooledBufferPerMessage' \
+  --benchmark_filter='BM_ShardedAnySourceFanIn|BM_PooledBufferPerMessage|BM_BoundedSlowReceiverPeakBytes|BM_TopologyMakespanFatTree' \
   --benchmark_min_time=0.01 \
   --benchmark_out="$bench_transport_json" --benchmark_out_format=json >/dev/null
 python3 -m json.tool "$bench_transport_json" >/dev/null
 echo "   bench smoke ok"
+
+echo "== tier-1: bench regression gate =="
+# Re-measure the committed before/after transport pairs and compare their
+# ratios (new/legacy) against BENCH_transport.json: a pair whose fresh ratio
+# is >25% worse than the committed one fails (scripts/bench_gate.py).  The
+# ratio-of-ratios form makes the gate machine-relative, so it holds on
+# hosts faster or slower than the one that recorded the committed file.
+if [[ -f "$repo/BENCH_transport.json" ]]; then
+  bench_gate_json="$repo/build/check_bench_gate.json"
+  "$repo/build/bench/micro_transport" \
+    --benchmark_filter='AnySourceFanIn|ExactSourceRecv|Bcast1MiB8Ranks|BufferPerMessage' \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$bench_gate_json" --benchmark_out_format=json >/dev/null
+  python3 "$repo/scripts/bench_gate.py" "$repo/BENCH_transport.json" "$bench_gate_json"
+else
+  echo "   no committed BENCH_transport.json; gate skipped"
+fi
 
 if [[ "$run_tsan" == 1 ]]; then
   echo "== tsan: build test_threading + test_space_sharing + test_obs + test_combination_map + test_transport =="

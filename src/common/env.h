@@ -18,6 +18,12 @@ inline double env_double(const char* name, double fallback) {
   return end != v ? parsed : fallback;
 }
 
+inline std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::string(v);
+}
+
 inline long env_long(const char* name, long fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;

@@ -16,9 +16,11 @@ namespace smart::simmpi {
 namespace {
 // Internal tag space for collectives; user tags must be >= 0.  Gather and
 // alltoall complete in any-source order, so successive calls separate their
-// rounds with an epoch suffix (tags descend through the family's 1000-tag
-// slice) — otherwise a fast rank's round-k+1 message could be consumed by a
-// slow root still draining round k.
+// rounds with a 64-bit Envelope::epoch stamp matched by the mailbox —
+// otherwise a fast rank's round-k+1 message could be consumed by a slow
+// root still draining round k.  (The epoch used to be folded into the tag
+// modulo 1000, which aliased round k with round k+1000: on the 1001st
+// call a stale wrapped message could be consumed as current.)
 constexpr int kBarrierBase = -1000;
 constexpr int kBcastTag = -2000;
 constexpr int kGatherTag = -3000;
@@ -26,7 +28,6 @@ constexpr int kReduceTag = -4000;
 constexpr int kScatterTag = -5000;
 constexpr int kAlltoallTag = -6000;
 constexpr int kSplitTag = -7000;
-constexpr int kEpochSlots = 1000;
 
 std::atomic<std::uint64_t> g_payload_bytes_copied{0};
 
@@ -64,6 +65,13 @@ void observe_recv_wait(std::chrono::steady_clock::time_point wait_start) {
       std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - wait_start)
           .count();
   hist.observe(waited_us);
+}
+
+/// Sender-side backpressure stalls, same 1µs .. 1s decade buckets.
+void observe_send_stall(double stalled_seconds) {
+  static obs::FixedHistogram& hist =
+      obs::MetricsRegistry::global().histogram("simmpi.send_stall_us", recv_wait_bounds());
+  hist.observe(stalled_seconds * 1e6);
 }
 }  // namespace
 
@@ -121,7 +129,8 @@ double Communicator::vclock() {
   return state_->vclock;
 }
 
-void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool shared) {
+void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool shared,
+                                 std::uint64_t epoch) {
   if (dest < 0 || dest >= size()) {
     throw std::out_of_range("simmpi::send: destination rank out of range");
   }
@@ -175,6 +184,12 @@ void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool s
   e.source = world_rank_;
   e.tag = tag;
   e.vtime = state_->vclock;
+  // The interconnect model prices the transfer once, at departure: queueing
+  // on shared topology links is accounted against this message here, and
+  // the receiver's clock can never observe the payload earlier.
+  e.arrival_vtime =
+      world_.network().arrival_vtime(world_rank_, world_dest, nbytes, state_->vclock);
+  e.epoch = epoch;
   e.payload = std::move(payload);
   e.shared_payload = shared;
   if (obs::trace_enabled()) {
@@ -184,15 +199,30 @@ void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool s
     e.flow_id = tc.next_flow_id();
     tc.flow_start("msg", "mpi", e.flow_id);
   }
+  double stalled_seconds = 0.0;
   if (duplicate) {
     // Both envelopes reference the same immutable bytes; copying the
     // Envelope only bumps the refcount.  Mark both shared so neither
     // receive steals the storage out from under the other.
     e.shared_payload = true;
     Envelope copy = e;
-    world_.mailbox(world_dest).post(std::move(copy));
+    stalled_seconds += world_.mailbox(world_dest).post(std::move(copy));
   }
-  world_.mailbox(world_dest).post(std::move(e));
+  stalled_seconds += world_.mailbox(world_dest).post(std::move(e));
+  if (stalled_seconds > 0.0) {
+    // Backpressure: the destination lane was full and this rank's send
+    // blocked until the receiver drained it.  The stall is real sender
+    // wall time with no CPU burned, so charge it to the virtual clock
+    // explicitly (like a fault delay) and surface it in metrics.
+    state_->vclock += stalled_seconds;
+    state_->send_stall_seconds += stalled_seconds;
+    state_->last_cpu = thread_cpu_seconds();
+    if (obs::metrics_enabled()) {
+      static obs::Counter& stalls = obs::MetricsRegistry::global().counter("simmpi.send_stalls");
+      stalls.add(1);
+      observe_send_stall(stalled_seconds);
+    }
+  }
 }
 
 void Communicator::send(int dest, int tag, const Buffer& payload) {
@@ -238,10 +268,10 @@ void Communicator::inject_recv_faults(int world_source, int tag) {
 }
 
 SharedBuffer Communicator::deliver_shared(Envelope& e, int* actual_source, int* actual_tag) {
-  // Message arrival under the alpha-beta model: we cannot observe the data
-  // earlier than the sender's clock plus the wire time.
-  const double arrival = e.vtime + world_.network().transfer_seconds(e.size());
-  if (arrival > state_->vclock) state_->vclock = arrival;
+  // Message arrival: the NetworkModel stamped the arrival time at departure
+  // (flat alpha-beta, or a topology with per-link queueing) — the receiver
+  // cannot observe the data earlier than that.
+  if (e.arrival_vtime > state_->vclock) state_->vclock = e.arrival_vtime;
   if (actual_source != nullptr) *actual_source = from_world(e.source);
   if (actual_tag != nullptr) *actual_tag = e.tag;
   if (e.flow_id != 0 && obs::trace_enabled()) {
@@ -265,13 +295,13 @@ Buffer Communicator::deliver(Envelope e, int* actual_source, int* actual_tag) {
   return pooled_copy(*data);
 }
 
-Envelope Communicator::recv_envelope(int source, int tag) {
+Envelope Communicator::recv_envelope(int source, int tag, std::uint64_t epoch) {
   charge_own_cpu();
   const int world_source = source == kAnySource ? kAnySource : to_world(source);
   inject_recv_faults(world_source, tag);
   const bool measure = obs::metrics_enabled();
   const auto wait_start = std::chrono::steady_clock::now();
-  Envelope e = world_.mailbox(world_rank_).receive(world_source, tag);
+  Envelope e = world_.mailbox(world_rank_).receive(world_source, tag, epoch);
   if (measure) observe_recv_wait(wait_start);
   return e;
 }
@@ -383,7 +413,10 @@ void Communicator::barrier() {
   const int n = size();
   for (int round = 0, dist = 1; dist < n; ++round, dist <<= 1) {
     const int to = (rank_ + dist) % n;
-    const int from = (rank_ - dist % n + n) % n;
+    // The % must apply to the whole difference: unparenthesized
+    // `rank_ - dist % n` binds the % to dist alone, which mispairs
+    // partners the moment dist can reach n.
+    const int from = ((rank_ - dist) % n + n) % n;
     send(to, kBarrierBase - round, Buffer{});
     (void)recv(from, kBarrierBase - round);
   }
@@ -426,10 +459,15 @@ void Communicator::bcast(Buffer& buf, int root) {
 
 std::vector<Buffer> Communicator::gather(const Buffer& local, int root) {
   const int n = size();
-  const int tag = kGatherTag - gather_epoch_;
-  gather_epoch_ = (gather_epoch_ + 1) % kEpochSlots;
+  // Every call advances this rank's round counter; all ranks call the
+  // collective the same number of times, so the counters agree without
+  // coordination.  The epoch rides in the Envelope and the root's
+  // any-source receives match only this round's messages.
+  const std::uint64_t epoch = gather_epoch_++;
   if (rank_ != root) {
-    send(root, tag, local);
+    SharedBuffer data;
+    if (!local.empty()) data = make_shared_buffer(pooled_copy(local));
+    send_envelope(root, kGatherTag, std::move(data), /*shared=*/false, epoch);
     return {};
   }
   std::vector<Buffer> all(static_cast<std::size_t>(n));
@@ -437,8 +475,11 @@ std::vector<Buffer> Communicator::gather(const Buffer& local, int root) {
   // Drain children in completion order instead of fixed rank order: a slow
   // early rank no longer head-of-line-blocks the fast ones behind it.
   for (int i = 0; i < n - 1; ++i) {
+    obs::TraceSpan span("recv", "mpi", {{"tag", kGatherTag}});
+    Envelope e = recv_envelope(kAnySource, kGatherTag, epoch);
+    span.arg("bytes", static_cast<std::int64_t>(e.size()));
     int src = kAnySource;
-    Buffer got = recv(kAnySource, tag, &src);
+    Buffer got = deliver(std::move(e), &src, nullptr);
     if (src == kAnySource || src == root) {
       throw std::logic_error("simmpi::gather: unexpected message source");
     }
@@ -466,17 +507,23 @@ std::vector<Buffer> Communicator::alltoall(const std::vector<Buffer>& sends) {
   if (sends.size() != static_cast<std::size_t>(n)) {
     throw std::invalid_argument("simmpi::alltoall: need one buffer per rank");
   }
-  const int tag = kAlltoallTag - alltoall_epoch_;
-  alltoall_epoch_ = (alltoall_epoch_ + 1) % kEpochSlots;
+  // Same per-rank round counter scheme as gather (see there).
+  const std::uint64_t epoch = alltoall_epoch_++;
   std::vector<Buffer> recvs(static_cast<std::size_t>(n));
   recvs[static_cast<std::size_t>(rank_)] = sends[static_cast<std::size_t>(rank_)];
   for (int r = 0; r < n; ++r) {
     if (r == rank_) continue;
-    send(r, tag, sends[static_cast<std::size_t>(r)]);
+    const Buffer& out = sends[static_cast<std::size_t>(r)];
+    SharedBuffer data;
+    if (!out.empty()) data = make_shared_buffer(pooled_copy(out));
+    send_envelope(r, kAlltoallTag, std::move(data), /*shared=*/false, epoch);
   }
   for (int i = 0; i < n - 1; ++i) {
+    obs::TraceSpan span("recv", "mpi", {{"tag", kAlltoallTag}});
+    Envelope e = recv_envelope(kAnySource, kAlltoallTag, epoch);
+    span.arg("bytes", static_cast<std::int64_t>(e.size()));
     int src = kAnySource;
-    Buffer got = recv(kAnySource, tag, &src);
+    Buffer got = deliver(std::move(e), &src, nullptr);
     recvs[static_cast<std::size_t>(src)] = std::move(got);
   }
   return recvs;
@@ -506,11 +553,27 @@ Buffer Communicator::reduce(Buffer local,
   return local;
 }
 
+SharedBuffer Communicator::allreduce_shared(
+    Buffer local, const std::function<Buffer(const Buffer&, const Buffer&)>& combine) {
+  // Reduce-then-broadcast with a zero-copy broadcast phase: the reduce
+  // tree's sends are all rvalue moves and its receives steal exclusive
+  // payloads, and the root hands the final result straight to
+  // bcast_shared — no rank materializes a private copy.
+  Buffer reduced = reduce(std::move(local), 0, combine);
+  SharedBuffer data;
+  if (rank_ == 0 && !reduced.empty()) data = make_shared_buffer(std::move(reduced));
+  bcast_shared(data, 0);
+  if (!data) data = shared_empty_buffer();
+  return data;
+}
+
 Buffer Communicator::allreduce(Buffer local,
                                const std::function<Buffer(const Buffer&, const Buffer&)>& combine) {
-  Buffer reduced = reduce(std::move(local), 0, combine);
-  bcast(reduced, 0);
-  return reduced;
+  // Owning facade: every rank pays for its private copy of the result
+  // (callers that can read in place should use allreduce_shared).
+  SharedBuffer data = allreduce_shared(std::move(local), combine);
+  if (data->empty()) return Buffer{};
+  return pooled_copy(*data);
 }
 
 Communicator Communicator::split(int color, int key) {
@@ -525,9 +588,13 @@ Communicator Communicator::split(int color, int key) {
     w.write(world_rank_);
   }
   const std::vector<Buffer> table = gather(mine, 0);
-  Buffer packed;
+  // Rank 0 packs the table once and fans it out as one shared payload;
+  // every rank (rank 0 included) deserializes straight from the shared
+  // bytes, so the broadcast phase copies nothing.
+  SharedBuffer packed;
   if (rank_ == 0) {
-    Writer w(packed);
+    Buffer packed_bytes;
+    Writer w(packed_bytes);
     w.write<std::uint64_t>(table.size());
     for (const auto& entry : table) {
       Reader r(entry);
@@ -535,15 +602,16 @@ Communicator Communicator::split(int color, int key) {
       w.write(r.read<int>());
       w.write(r.read<int>());
     }
+    packed = make_shared_buffer(std::move(packed_bytes));
   }
-  bcast(packed, 0);
+  bcast_shared(packed, 0);
 
   struct Entry {
     int color, key, world_rank;
   };
   std::vector<Entry> entries;
   {
-    Reader r(packed);
+    Reader r(*packed);
     const auto n = r.read<std::uint64_t>();
     entries.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {

@@ -11,11 +11,14 @@
 // Compute advances it by the rank thread's measured CPU time; parallel
 // regions advance it by the max busy time across that rank's workers (via
 // advance()); messages carry the sender's clock, and a receive sets
-//   vclock = max(vclock, sender_vtime + alpha + bytes / beta)
-// — the classic alpha–beta (latency/bandwidth) cost model.  The maximum
-// final clock across ranks is the run's virtual makespan: the wall time an
-// ideal one-core-per-rank cluster would have shown.  Split communicators
-// share the owning rank's clock (they are views over the same thread).
+//   vclock = max(vclock, NetworkModel::arrival_vtime(src, dst, bytes, send vclock))
+// — the pluggable interconnect cost model (simmpi/network.h): flat
+// alpha–beta by default, fat-tree or dragonfly with per-link contention on
+// request.  The maximum final clock across ranks is the run's virtual
+// makespan: the wall time an ideal one-core-per-rank cluster would have
+// shown.  A sender stalled by lane backpressure (simmpi/mailbox.h) charges
+// the stall to its clock too.  Split communicators share the owning rank's
+// clock (they are views over the same thread).
 #pragma once
 
 #include <concepts>
@@ -29,18 +32,9 @@
 #include "common/serialize.h"
 #include "common/timing.h"
 #include "simmpi/mailbox.h"
+#include "simmpi/network.h"
 
 namespace smart::simmpi {
-
-/// Network cost parameters for the virtual clock (per message / per byte).
-struct NetworkModel {
-  double alpha_seconds = 2e-6;          ///< per-message latency
-  double beta_bytes_per_second = 5e9;   ///< link bandwidth
-
-  double transfer_seconds(std::size_t bytes) const {
-    return alpha_seconds + static_cast<double>(bytes) / beta_bytes_per_second;
-  }
-};
 
 class World;
 
@@ -58,6 +52,9 @@ struct RankState {
   double vclock = 0.0;
   double last_cpu = 0.0;
   std::size_t bytes_sent = 0;
+  /// Wall seconds this rank's sends spent blocked on full destination
+  /// lanes (backpressure); also folded into vclock as it accrues.
+  double send_stall_seconds = 0.0;
 };
 }  // namespace detail
 
@@ -174,7 +171,15 @@ class Communicator {
   /// Binomial-tree reduction with a user combiner; result valid at root only.
   Buffer reduce(Buffer local, int root,
                 const std::function<Buffer(const Buffer&, const Buffer&)>& combine);
-  /// reduce + bcast.
+  /// reduce + bcast_shared: the zero-copy core — the reduced payload is
+  /// moved (never copied) into a shared buffer at the root and every rank
+  /// hands the same immutable bytes back (never null; empty input yields
+  /// the canonical empty buffer).  Read it via Reader(*result); use the
+  /// owning allreduce() facade only when the caller must mutate the bytes.
+  SharedBuffer allreduce_shared(Buffer local,
+                                const std::function<Buffer(const Buffer&, const Buffer&)>& combine);
+  /// Owning facade over allreduce_shared (pays one materializing copy per
+  /// rank — the shared bytes are referenced tree-wide).
   Buffer allreduce(Buffer local, const std::function<Buffer(const Buffer&, const Buffer&)>& combine);
 
   /// Element-wise sum allreduce over numeric vectors (the hand-written
@@ -198,14 +203,14 @@ class Communicator {
   T allreduce_max(T local) {
     Buffer mine;
     Writer(mine).write(local);
-    Buffer out = allreduce(std::move(mine), [](const Buffer& a, const Buffer& b) {
+    const SharedBuffer out = allreduce_shared(std::move(mine), [](const Buffer& a, const Buffer& b) {
       const T va = Reader(a).read<T>();
       const T vb = Reader(b).read<T>();
       Buffer merged;
       Writer(merged).write(va < vb ? vb : va);
       return merged;
     });
-    return Reader(out).read<T>();
+    return Reader(*out).read<T>();
   }
 
   /// MPI_Comm_split: collective over this communicator.  Ranks with the
@@ -224,6 +229,10 @@ class Communicator {
   /// Bytes this rank has pushed through send() on any of its communicators.
   std::size_t bytes_sent() const { return state_->bytes_sent; }
 
+  /// Wall seconds this rank's sends have spent blocked on full destination
+  /// lanes (backpressure; see simmpi/mailbox.h).
+  double send_stall_seconds() const { return state_->send_stall_seconds; }
+
  private:
   Communicator(World& world, int world_rank, std::vector<int> group,
                std::shared_ptr<detail::RankState> state);
@@ -235,11 +244,15 @@ class Communicator {
   /// delay) before blocking on the mailbox.
   void inject_recv_faults(int world_source, int tag);
   /// The one send path: fault injection, traffic accounting, trace flow
-  /// start, and the mailbox post.  `shared` marks the payload as
-  /// potentially multi-referenced so receivers copy instead of steal.
-  void send_envelope(int dest, int tag, SharedBuffer payload, bool shared);
+  /// start, the NetworkModel arrival stamp, and the mailbox post (which
+  /// may block on a full lane — the stall is charged to this rank's clock
+  /// and the simmpi.send_stall_us histogram).  `shared` marks the payload
+  /// as potentially multi-referenced so receivers copy instead of steal;
+  /// `epoch` stamps collective round isolation (0 for plain sends).
+  void send_envelope(int dest, int tag, SharedBuffer payload, bool shared,
+                     std::uint64_t epoch = 0);
   /// Blocking matched-envelope wait shared by recv / recv_shared.
-  Envelope recv_envelope(int source, int tag);
+  Envelope recv_envelope(int source, int tag, std::uint64_t epoch = kAnyEpoch);
   /// Timed wait shared by recv_timeout / recv_shared_timeout; raises
   /// PeerUnreachable on deadline or a dead awaited peer.
   Envelope recv_envelope_timeout(int source, int tag, double timeout_seconds);
@@ -257,19 +270,21 @@ class Communicator {
   std::vector<int> group_;  ///< group rank -> world rank; empty = world view
   std::shared_ptr<detail::RankState> state_;
   /// Round counters for the any-source collectives (gather, alltoall):
-  /// each call stamps its messages with an epoch-suffixed tag so a fast
-  /// rank's next-round message cannot be consumed by a root still draining
-  /// the previous round.  Collectives are called in the same order on every
-  /// rank, so the counters stay in lockstep without coordination.
-  int gather_epoch_ = 0;
-  int alltoall_epoch_ = 0;
+  /// each call stamps its messages' Envelope::epoch so a fast rank's
+  /// next-round message cannot be consumed by a root still draining the
+  /// previous round — the 64-bit field never wraps, unlike the mod-1000
+  /// tag suffix it replaced (which aliased round k with round k+1000).
+  /// Collectives are called in the same order on every rank, so the
+  /// counters stay in lockstep without coordination.
+  std::uint64_t gather_epoch_ = 0;
+  std::uint64_t alltoall_epoch_ = 0;
 };
 
 template <typename T>
 std::vector<T> Communicator::allreduce_sum(const std::vector<T>& local) {
   Buffer mine;
   Writer(mine).write_vector(local);
-  Buffer out = allreduce(std::move(mine), [](const Buffer& a, const Buffer& b) {
+  const SharedBuffer out = allreduce_shared(std::move(mine), [](const Buffer& a, const Buffer& b) {
     std::vector<T> va = Reader(a).read_vector<T>();
     const std::vector<T> vb = Reader(b).read_vector<T>();
     if (va.size() != vb.size()) {
@@ -280,7 +295,7 @@ std::vector<T> Communicator::allreduce_sum(const std::vector<T>& local) {
     Writer(merged).write_vector(va);
     return merged;
   });
-  return Reader(out).read_vector<T>();
+  return Reader(*out).read_vector<T>();
 }
 
 template <typename T>

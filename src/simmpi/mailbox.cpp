@@ -13,32 +13,30 @@ const std::vector<double>& lane_depth_bounds() {
 }
 }  // namespace
 
-void Mailbox::post(Envelope e) {
+void Mailbox::set_lane_capacity(std::size_t max_msgs, std::size_t max_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
-  e.seq = next_seq_++;
-  const int source = e.source;
-  const int tag = e.tag;
-  Lane& lane = lanes_[lane_key(source, tag)];
-  lane.source = source;
-  lane.tag = tag;
-  lane.q.push_back(std::move(e));
-  ++pending_;
-  if (obs::metrics_enabled()) {
-    static obs::FixedHistogram& depth =
-        obs::MetricsRegistry::global().histogram("simmpi.lane_depth", lane_depth_bounds());
-    static obs::Gauge& lanes = obs::MetricsRegistry::global().gauge("simmpi.mailbox_lanes");
-    depth.observe(static_cast<double>(lane.q.size()));
-    lanes.update_max(static_cast<double>(lanes_.size()));
-  }
+  max_lane_msgs_ = max_msgs;
+  max_lane_bytes_ = max_bytes;
+}
+
+bool Mailbox::lane_full_locked(const Lane& lane, std::size_t incoming_bytes) const {
+  if (lane.q.empty()) return false;  // an empty lane always accepts one message
+  if (max_lane_msgs_ != 0 && lane.q.size() >= max_lane_msgs_) return true;
+  if (max_lane_bytes_ != 0 && lane.bytes + incoming_bytes > max_lane_bytes_) return true;
+  return false;
+}
+
+void Mailbox::wake_matching_waiter_locked(int source, int tag, std::uint64_t epoch) {
   // Wake one receiver this message can satisfy.  Waiters blocked with
   // signaled == false have already verified (under this mutex) that nothing
   // queued matches them, so the new message is the only thing a matching
-  // one could take — signaling a single waiter per post is lossless, and
+  // one could take — signaling a single waiter per message is lossless, and
   // non-matching receivers stay asleep.  Notifying under the lock is
   // deliberate: the Waiter lives on the receiver's stack and may be
   // deregistered (and destroyed) the moment the mutex is released.
   for (Waiter* w : waiters_) {
-    if (!w->signaled && selector_matches(w->source, w->tag, source, tag)) {
+    if (!w->signaled && selector_matches(w->source, w->tag, source, tag) &&
+        epoch_matches(w->epoch, epoch)) {
       w->signaled = true;
       w->cv.notify_one();
       break;
@@ -46,26 +44,91 @@ void Mailbox::post(Envelope e) {
   }
 }
 
-std::optional<Envelope> Mailbox::take_locked(int source, int tag) {
+double Mailbox::post(Envelope e) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int source = e.source;
+  const int tag = e.tag;
+  const std::size_t nbytes = e.size();
+  const std::uint64_t key = lane_key(source, tag);
+  double stalled_seconds = 0.0;
+  if ((max_lane_msgs_ != 0 || max_lane_bytes_ != 0) && !dead_) {
+    // Backpressure: while the destination lane is at capacity, the sender
+    // parks here until the receiver drains it.  A poke() or mark_dead()
+    // (rank death) also releases the wait — posting to a dead rank's
+    // mailbox never blocks, because nothing will ever drain it.
+    const auto full = [&] {
+      const auto it = lanes_.find(key);
+      return it != lanes_.end() && lane_full_locked(it->second, nbytes);
+    };
+    if (full()) {
+      const auto stall_start = std::chrono::steady_clock::now();
+      ++senders_waiting_;
+      space_cv_.wait(lock, [&] { return dead_ || !full(); });
+      --senders_waiting_;
+      stalled_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                      stall_start)
+                            .count();
+    }
+  }
+  e.seq = next_seq_++;
+  Lane& lane = lanes_[key];
+  lane.source = source;
+  lane.tag = tag;
+  lane.bytes += nbytes;
+  const std::uint64_t epoch = e.epoch;
+  lane.q.push_back(std::move(e));
+  ++pending_;
+  pending_bytes_ += nbytes;
+  if (pending_bytes_ > peak_pending_bytes_) peak_pending_bytes_ = pending_bytes_;
+  if (obs::metrics_enabled()) {
+    static obs::FixedHistogram& depth =
+        obs::MetricsRegistry::global().histogram("simmpi.lane_depth", lane_depth_bounds());
+    static obs::Gauge& lanes = obs::MetricsRegistry::global().gauge("simmpi.mailbox_lanes");
+    static obs::Gauge& peak_bytes =
+        obs::MetricsRegistry::global().gauge("simmpi.mailbox_bytes_peak");
+    depth.observe(static_cast<double>(lane.q.size()));
+    lanes.update_max(static_cast<double>(lanes_.size()));
+    peak_bytes.update_max(static_cast<double>(pending_bytes_));
+  }
+  wake_matching_waiter_locked(source, tag, epoch);
+  return stalled_seconds;
+}
+
+std::optional<Envelope> Mailbox::take_locked(int source, int tag, std::uint64_t epoch) {
   if (lanes_.empty()) return std::nullopt;
   auto pop_lane = [&](std::unordered_map<std::uint64_t, Lane>::iterator it) {
     Envelope e = std::move(it->second.q.front());
     it->second.q.pop_front();
     --pending_;
-    // Erase drained lanes: collective tags descend every round, so keeping
-    // empty lanes around would grow the table without bound.
-    if (it->second.q.empty()) lanes_.erase(it);
+    const std::size_t nbytes = e.size();
+    it->second.bytes -= nbytes;
+    pending_bytes_ -= nbytes;
+    if (senders_waiting_ != 0) space_cv_.notify_all();
+    if (it->second.q.empty()) {
+      // Erase drained lanes: collective tags descend every round, so keeping
+      // empty lanes around would grow the table without bound.
+      lanes_.erase(it);
+    } else {
+      // A new head is exposed; a parked epoch-selective waiter that skipped
+      // this lane because of the old head may now match it (only possible
+      // when several receiver threads share a mailbox — one rank thread
+      // consuming rounds in order never needs this).
+      const Envelope& head = it->second.q.front();
+      wake_matching_waiter_locked(head.source, head.tag, head.epoch);
+    }
     return e;
   };
   if (source != kAnySource && tag != kAnyTag) {
     const auto it = lanes_.find(lane_key(source, tag));
     if (it == lanes_.end()) return std::nullopt;
+    if (!epoch_matches(epoch, it->second.q.front().epoch)) return std::nullopt;
     return pop_lane(it);
   }
   // Wildcard receive: earliest arrival among the matching lanes' heads.
   auto best = lanes_.end();
   for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
     if (!selector_matches(source, tag, it->second.source, it->second.tag)) continue;
+    if (!epoch_matches(epoch, it->second.q.front().epoch)) continue;
     if (best == lanes_.end() || it->second.q.front().seq < best->second.q.front().seq) {
       best = it;
     }
@@ -83,15 +146,15 @@ void Mailbox::unregister_locked(Waiter* w) {
   }
 }
 
-Envelope Mailbox::receive(int source, int tag) {
+Envelope Mailbox::receive(int source, int tag, std::uint64_t epoch) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (auto e = take_locked(source, tag)) return std::move(*e);
-  Waiter w{source, tag};
+  if (auto e = take_locked(source, tag, epoch)) return std::move(*e);
+  Waiter w{source, tag, epoch};
   waiters_.push_back(&w);
   for (;;) {
     w.cv.wait(lock, [&] { return w.signaled; });
     w.signaled = false;
-    if (auto e = take_locked(source, tag)) {
+    if (auto e = take_locked(source, tag, epoch)) {
       unregister_locked(&w);
       return std::move(*e);
     }
@@ -101,22 +164,23 @@ Envelope Mailbox::receive(int source, int tag) {
 }
 
 std::optional<Envelope> Mailbox::receive_for(int source, int tag,
-                                             std::chrono::nanoseconds timeout) {
+                                             std::chrono::nanoseconds timeout,
+                                             std::uint64_t epoch) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(mu_);
-  if (auto e = take_locked(source, tag)) return e;
-  Waiter w{source, tag};
+  if (auto e = take_locked(source, tag, epoch)) return e;
+  Waiter w{source, tag, epoch};
   waiters_.push_back(&w);
   for (;;) {
     if (!w.cv.wait_until(lock, deadline, [&] { return w.signaled; })) {
       // Deadline passed with no signal.  One last look: the message may
       // have been posted between the final wake-up and the deadline check.
-      auto e = take_locked(source, tag);
+      auto e = take_locked(source, tag, epoch);
       unregister_locked(&w);
       return e;
     }
     w.signaled = false;
-    if (auto e = take_locked(source, tag)) {
+    if (auto e = take_locked(source, tag, epoch)) {
       unregister_locked(&w);
       return e;
     }
@@ -129,11 +193,18 @@ void Mailbox::poke() {
     w->signaled = true;
     w->cv.notify_one();
   }
+  if (senders_waiting_ != 0) space_cv_.notify_all();
 }
 
-std::optional<Envelope> Mailbox::try_receive(int source, int tag) {
+void Mailbox::mark_dead() {
   std::lock_guard<std::mutex> lock(mu_);
-  return take_locked(source, tag);
+  dead_ = true;
+  if (senders_waiting_ != 0) space_cv_.notify_all();
+}
+
+std::optional<Envelope> Mailbox::try_receive(int source, int tag, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return take_locked(source, tag, epoch);
 }
 
 bool Mailbox::has_match(int source, int tag) const {
@@ -150,6 +221,16 @@ bool Mailbox::has_match(int source, int tag) const {
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_;
+}
+
+std::size_t Mailbox::pending_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_bytes_;
+}
+
+std::size_t Mailbox::peak_pending_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_pending_bytes_;
 }
 
 std::size_t Mailbox::lane_count() const {

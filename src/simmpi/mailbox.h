@@ -23,13 +23,24 @@ namespace smart::simmpi {
 
 constexpr int kAnySource = -1;
 constexpr int kAnyTag = -0x7fffffff;
+/// Wildcard for Envelope::epoch matching (the default for every receive
+/// that is not an epoch-stamped collective).
+constexpr std::uint64_t kAnyEpoch = ~std::uint64_t{0};
 
 /// A message in flight: sender rank, user tag, payload, and the sender's
 /// virtual-clock timestamp (see communicator.h for the time model).
 struct Envelope {
   int source = 0;
   int tag = 0;
-  double vtime = 0.0;
+  double vtime = 0.0;         ///< sender's virtual clock at departure
+  double arrival_vtime = 0.0; ///< NetworkModel arrival (stamped by send_envelope)
+  /// Collective round number for the any-source collectives (gather,
+  /// alltoall): a root draining round k matches only epoch-k messages, so a
+  /// sprinting peer's round-k+1 traffic can never be consumed as round k —
+  /// at any round count (the old mod-1000 tag suffix wrapped and aliased
+  /// after 1000 rounds).  64-bit: never wraps in practice.  Plain sends
+  /// carry 0 and plain receives match any epoch.
+  std::uint64_t epoch = 0;
   /// Serialized bytes; null means an empty payload.  Immutable once posted.
   SharedBuffer payload;
   std::uint64_t flow_id = 0;  ///< nonzero links send→recv trace flow events
@@ -56,31 +67,67 @@ struct Envelope {
 /// can match the new message (one per message — an unsignaled waiter has,
 /// by construction, already verified nothing queued matches it), replacing
 /// the old notify_all stampede that woke every receiver for every post.
+///
+/// Flow control: each lane has a bounded capacity (messages and bytes,
+/// from NetworkConfig; 0 = unbounded).  post() into a full lane *blocks
+/// the sender* until the receiver drains the lane — the backpressure a
+/// real interconnect applies to a producer outrunning its consumer, and
+/// the fix for slow receivers' mailboxes growing without bound.  Two rules
+/// keep this deadlock-safe: an empty lane always accepts one message (so a
+/// bounded lane can throttle a pipeline but never wedge a first send), and
+/// a mailbox whose owning rank is dead (mark_dead, via
+/// World::mark_rank_dead) stops blocking entirely — poke() wakes blocked
+/// senders as well as receivers, so a sender stalled on a dying rank
+/// resolves promptly instead of hanging.
 class Mailbox {
  public:
-  void post(Envelope e);
+  /// Per-(source, tag) lane bounds; 0 disables the respective bound.
+  /// Configure before the mailbox carries traffic (World does this at
+  /// construction from the NetworkModel's config).
+  void set_lane_capacity(std::size_t max_msgs, std::size_t max_bytes);
+
+  /// Enqueues e, blocking while the destination lane is at capacity (see
+  /// class comment).  Returns the seconds the sender was stalled (0.0 when
+  /// the lane had room) so the communicator can charge the stall to the
+  /// sender's virtual clock and the simmpi.send_stall_us histogram.
+  double post(Envelope e);
 
   /// Blocks until a matching message arrives.
-  Envelope receive(int source, int tag);
+  Envelope receive(int source, int tag, std::uint64_t epoch = kAnyEpoch);
 
   /// Timed blocking receive: waits up to `timeout` for a matching message,
   /// std::nullopt once the deadline passes.  This is the primitive the
   /// fault-tolerant paths are built on — a dead peer becomes a bounded
   /// wait instead of a hang (Communicator::recv_timeout raises the typed
   /// PeerUnreachable on top of it).
-  std::optional<Envelope> receive_for(int source, int tag, std::chrono::nanoseconds timeout);
+  std::optional<Envelope> receive_for(int source, int tag, std::chrono::nanoseconds timeout,
+                                      std::uint64_t epoch = kAnyEpoch);
 
   /// Non-blocking probe-and-take.
-  std::optional<Envelope> try_receive(int source, int tag);
+  std::optional<Envelope> try_receive(int source, int tag, std::uint64_t epoch = kAnyEpoch);
 
-  /// Wakes every blocked receiver so it re-evaluates its wait condition
-  /// (used by World::mark_rank_dead to cut short waits on a dead peer).
+  /// Wakes every blocked receiver *and* sender so it re-evaluates its wait
+  /// condition (used by World::mark_rank_dead to cut short waits on a dead
+  /// peer).
   void poke();
+
+  /// Declares the owning rank dead: pending messages stay readable, but
+  /// post() stops blocking on full lanes (nobody will ever drain them) and
+  /// blocked senders are released.
+  void mark_dead();
 
   /// True if a matching message is queued (does not consume it).
   bool has_match(int source, int tag) const;
 
   std::size_t pending() const;
+
+  /// Payload bytes currently queued across all lanes.
+  std::size_t pending_bytes() const;
+
+  /// High-water mark of pending_bytes() over this mailbox's lifetime — the
+  /// number the bounded-lane work exists to keep flat under a slow
+  /// receiver (see BM_SlowReceiverPeakBytes* in bench/micro_transport.cpp).
+  std::size_t peak_pending_bytes() const;
 
   /// Active (non-empty) lanes; lanes are erased as they drain, so this is
   /// the number of distinct (source, tag) pairs with messages queued.
@@ -90,15 +137,18 @@ class Mailbox {
   struct Lane {
     int source = 0;
     int tag = 0;
+    std::size_t bytes = 0;  ///< summed payload size of q
     std::deque<Envelope> q;
   };
 
   /// One blocked receiver: its selector plus a private wake token, so a
   /// post can signal exactly the receivers its message can satisfy.
   struct Waiter {
-    Waiter(int source_sel, int tag_sel) : source(source_sel), tag(tag_sel) {}
+    Waiter(int source_sel, int tag_sel, std::uint64_t epoch_sel)
+        : source(source_sel), tag(tag_sel), epoch(epoch_sel) {}
     int source;
     int tag;
+    std::uint64_t epoch;
     std::condition_variable cv;
     bool signaled = false;
   };
@@ -108,19 +158,39 @@ class Mailbox {
            (sel_tag == kAnyTag || sel_tag == tag);
   }
 
+  static bool epoch_matches(std::uint64_t sel_epoch, std::uint64_t epoch) {
+    return sel_epoch == kAnyEpoch || sel_epoch == epoch;
+  }
+
   static std::uint64_t lane_key(int source, int tag) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source)) << 32) |
            static_cast<std::uint32_t>(tag);
   }
 
-  std::optional<Envelope> take_locked(int source, int tag);
+  /// True when `lane` cannot accept another `incoming_bytes`-sized message
+  /// under the configured bounds.  An empty lane never refuses.
+  bool lane_full_locked(const Lane& lane, std::size_t incoming_bytes) const;
+
+  /// Wakes one unsignaled waiter whose selector matches (source, tag,
+  /// epoch); the caller holds mu_.
+  void wake_matching_waiter_locked(int source, int tag, std::uint64_t epoch);
+
+  std::optional<Envelope> take_locked(int source, int tag, std::uint64_t epoch);
   void unregister_locked(Waiter* w);
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Lane> lanes_;
   std::vector<Waiter*> waiters_;
+  /// Blocked senders (post() into a full lane); woken on drain/poke/death.
+  std::condition_variable space_cv_;
+  std::size_t senders_waiting_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t pending_ = 0;
+  std::size_t pending_bytes_ = 0;
+  std::size_t peak_pending_bytes_ = 0;
+  std::size_t max_lane_msgs_ = 0;   ///< 0 = unbounded
+  std::size_t max_lane_bytes_ = 0;  ///< 0 = unbounded
+  bool dead_ = false;
 };
 
 }  // namespace smart::simmpi

@@ -1,0 +1,177 @@
+#include "simmpi/network.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/env.h"
+
+namespace smart::simmpi {
+
+namespace {
+
+/// The contention-free alpha-beta model — the exact cost every message paid
+/// before topologies existed, kept as the default so flat runs stay
+/// bit-identical.
+class FlatModel final : public NetworkModel {
+ public:
+  using NetworkModel::NetworkModel;
+  const char* name() const override { return "flat"; }
+
+  double arrival_vtime(int /*src*/, int /*dst*/, std::size_t bytes,
+                       double depart_vtime) override {
+    return depart_vtime + cfg_.alpha_seconds +
+           static_cast<double>(bytes) / cfg_.beta_bytes_per_second;
+  }
+};
+
+/// Shared machinery for the topology models: a table of per-link "next
+/// free" virtual times.  A transfer over a link begins at
+/// max(arrival-so-far, link free time) and occupies the link for
+/// bytes/bandwidth — overlapping messages on a shared link queue behind
+/// each other in virtual time (store-and-forward per hop).
+class ContentionModel : public NetworkModel {
+ public:
+  using NetworkModel::NetworkModel;
+
+ protected:
+  /// Link id namespaces (kind in the top bits, entity index below).
+  enum class LinkKind : std::uint64_t { kNodeUp = 1, kNodeDown = 2, kEdgeUp = 3, kEdgeDown = 4, kGlobal = 5 };
+
+  static std::uint64_t link_id(LinkKind kind, std::uint64_t index) {
+    return (static_cast<std::uint64_t>(kind) << 56) | index;
+  }
+
+  /// Occupies `link` for bytes/bandwidth starting no earlier than `t`;
+  /// returns when the transfer clears the link.  Caller holds mu_.
+  double traverse_locked(std::uint64_t link, double bandwidth, double t, std::size_t bytes) {
+    double& next_free = link_next_free_[link];
+    const double begin = std::max(t, next_free);
+    const double done = begin + static_cast<double>(bytes) / bandwidth;
+    next_free = done;
+    return done;
+  }
+
+  int node_of(int rank) const { return rank / std::max(1, cfg_.ranks_per_node); }
+
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, double> link_next_free_;
+};
+
+/// Fat tree: ranks on nodes, nodes under edge switches (pods), pods under
+/// an ideal core.  Intra-node messages skip the network; intra-pod
+/// messages cross the two node access links; pod-to-pod messages also
+/// cross the source pod's uplink and the destination pod's downlink, both
+/// tapered to beta * uplink_bandwidth_factor.
+class FatTreeModel final : public ContentionModel {
+ public:
+  using ContentionModel::ContentionModel;
+  const char* name() const override { return "fattree"; }
+
+  double arrival_vtime(int src, int dst, std::size_t bytes, double depart_vtime) override {
+    const int src_node = node_of(src);
+    const int dst_node = node_of(dst);
+    if (src_node == dst_node) {
+      // Same node: memory-speed exchange, modeled as an uncontended flat hop.
+      return depart_vtime + cfg_.alpha_seconds +
+             static_cast<double>(bytes) / cfg_.beta_bytes_per_second;
+    }
+    const int npe = std::max(1, cfg_.nodes_per_edge);
+    const int src_pod = src_node / npe;
+    const int dst_pod = dst_node / npe;
+    const double beta = cfg_.beta_bytes_per_second;
+    const double up_bw = beta * cfg_.uplink_bandwidth_factor;
+    std::lock_guard<std::mutex> lock(mu_);
+    double t = traverse_locked(link_id(LinkKind::kNodeUp, static_cast<std::uint64_t>(src_node)),
+                               beta, depart_vtime, bytes);
+    int hops = 2;  // NIC -> edge, edge -> NIC
+    if (src_pod != dst_pod) {
+      t = traverse_locked(link_id(LinkKind::kEdgeUp, static_cast<std::uint64_t>(src_pod)), up_bw,
+                          t, bytes);
+      t = traverse_locked(link_id(LinkKind::kEdgeDown, static_cast<std::uint64_t>(dst_pod)),
+                          up_bw, t, bytes);
+      hops += 2;  // edge -> core, core -> edge
+    }
+    t = traverse_locked(link_id(LinkKind::kNodeDown, static_cast<std::uint64_t>(dst_node)), beta,
+                        t, bytes);
+    return t + cfg_.alpha_seconds + hops * cfg_.hop_latency_seconds;
+  }
+};
+
+/// Dragonfly: nodes grouped into groups; node access links inside a group,
+/// one tapered global link (beta * global_bandwidth_factor) per group pair.
+class DragonflyModel final : public ContentionModel {
+ public:
+  using ContentionModel::ContentionModel;
+  const char* name() const override { return "dragonfly"; }
+
+  double arrival_vtime(int src, int dst, std::size_t bytes, double depart_vtime) override {
+    const int src_node = node_of(src);
+    const int dst_node = node_of(dst);
+    if (src_node == dst_node) {
+      return depart_vtime + cfg_.alpha_seconds +
+             static_cast<double>(bytes) / cfg_.beta_bytes_per_second;
+    }
+    const int npg = std::max(1, cfg_.nodes_per_group);
+    const int src_group = src_node / npg;
+    const int dst_group = dst_node / npg;
+    const double beta = cfg_.beta_bytes_per_second;
+    std::lock_guard<std::mutex> lock(mu_);
+    double t = traverse_locked(link_id(LinkKind::kNodeUp, static_cast<std::uint64_t>(src_node)),
+                               beta, depart_vtime, bytes);
+    int hops = 2;
+    if (src_group != dst_group) {
+      // One global link per unordered group pair: all traffic between the
+      // two groups shares it, whichever direction it flows.
+      const std::uint64_t lo = static_cast<std::uint64_t>(std::min(src_group, dst_group));
+      const std::uint64_t hi = static_cast<std::uint64_t>(std::max(src_group, dst_group));
+      t = traverse_locked(link_id(LinkKind::kGlobal, (lo << 24) | hi),
+                          beta * cfg_.global_bandwidth_factor, t, bytes);
+      hops += 1;
+    }
+    t = traverse_locked(link_id(LinkKind::kNodeDown, static_cast<std::uint64_t>(dst_node)), beta,
+                        t, bytes);
+    return t + cfg_.alpha_seconds + hops * cfg_.hop_latency_seconds;
+  }
+};
+
+}  // namespace
+
+NetworkConfig NetworkConfig::from_env() {
+  NetworkConfig cfg;
+  cfg.model = env_string("SMART_NET_MODEL", cfg.model);
+  cfg.alpha_seconds = env_double("SMART_NET_ALPHA", cfg.alpha_seconds);
+  cfg.beta_bytes_per_second = env_double("SMART_NET_BETA", cfg.beta_bytes_per_second);
+  cfg.ranks_per_node =
+      static_cast<int>(env_long("SMART_NET_RANKS_PER_NODE", cfg.ranks_per_node));
+  cfg.nodes_per_edge =
+      static_cast<int>(env_long("SMART_NET_NODES_PER_EDGE", cfg.nodes_per_edge));
+  cfg.nodes_per_group =
+      static_cast<int>(env_long("SMART_NET_NODES_PER_GROUP", cfg.nodes_per_group));
+  cfg.hop_latency_seconds = env_double("SMART_NET_HOP_LATENCY", cfg.hop_latency_seconds);
+  cfg.uplink_bandwidth_factor =
+      env_double("SMART_NET_UPLINK_FACTOR", cfg.uplink_bandwidth_factor);
+  cfg.global_bandwidth_factor =
+      env_double("SMART_NET_GLOBAL_FACTOR", cfg.global_bandwidth_factor);
+  cfg.lane_capacity_msgs = static_cast<std::size_t>(
+      env_long("SMART_NET_LANE_CAP", static_cast<long>(cfg.lane_capacity_msgs)));
+  cfg.lane_capacity_bytes = static_cast<std::size_t>(
+      env_long("SMART_NET_LANE_CAP_BYTES", static_cast<long>(cfg.lane_capacity_bytes)));
+  return cfg;
+}
+
+std::shared_ptr<NetworkModel> make_network_model(NetworkConfig cfg) {
+  if (cfg.model == "flat") return std::make_shared<FlatModel>(std::move(cfg));
+  if (cfg.model == "fattree") return std::make_shared<FatTreeModel>(std::move(cfg));
+  if (cfg.model == "dragonfly") return std::make_shared<DragonflyModel>(std::move(cfg));
+  throw std::invalid_argument("simmpi: unknown network model '" + cfg.model +
+                              "' (flat|fattree|dragonfly)");
+}
+
+std::shared_ptr<NetworkModel> default_network_model() {
+  return make_network_model(NetworkConfig::from_env());
+}
+
+}  // namespace smart::simmpi

@@ -15,10 +15,16 @@ namespace {
 thread_local Communicator* g_current = nullptr;
 }  // namespace
 
-World::World(int nranks, NetworkModel net) : net_(net) {
+World::World(int nranks, std::shared_ptr<NetworkModel> net) : net_(std::move(net)) {
   if (nranks <= 0) throw std::invalid_argument("simmpi::World: nranks must be positive");
+  if (!net_) net_ = default_network_model();
+  const NetworkConfig& cfg = net_->config();
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  for (int r = 0; r < nranks; ++r) {
+    auto box = std::make_unique<Mailbox>();
+    box->set_lane_capacity(cfg.lane_capacity_msgs, cfg.lane_capacity_bytes);
+    mailboxes_.push_back(std::move(box));
+  }
   dead_.assign(static_cast<std::size_t>(nranks), false);
 }
 
@@ -34,6 +40,9 @@ void World::mark_rank_dead(int rank) {
     static obs::Counter& deaths = obs::MetricsRegistry::global().counter("simmpi.rank_deaths");
     deaths.add(1);
   }
+  // Nothing will ever drain the dead rank's lanes again: stop its mailbox
+  // from blocking senders, releasing any already parked there.
+  mailboxes_.at(static_cast<std::size_t>(rank))->mark_dead();
   // Blocked timed receivers re-check their peer's liveness on wake-up.
   for (auto& box : mailboxes_) box->poke();
 }
@@ -69,13 +78,14 @@ CurrentGuard::CurrentGuard(Communicator* comm) : previous_(g_current) { g_curren
 CurrentGuard::~CurrentGuard() { g_current = previous_; }
 }  // namespace detail
 
-LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn, NetworkModel net,
-                   std::shared_ptr<FaultInjector> faults) {
-  World world(nranks, net);
+LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
+                   std::shared_ptr<NetworkModel> net, std::shared_ptr<FaultInjector> faults) {
+  World world(nranks, std::move(net));
   world.set_fault_injector(std::move(faults));
   LaunchStats stats;
   stats.rank_vtime.assign(static_cast<std::size_t>(nranks), 0.0);
   stats.rank_bytes_sent.assign(static_cast<std::size_t>(nranks), 0);
+  stats.rank_send_stall_seconds.assign(static_cast<std::size_t>(nranks), 0.0);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<char> killed(static_cast<std::size_t>(nranks), 0);
   std::vector<std::thread> threads;
@@ -100,6 +110,7 @@ LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn, Net
       }
       stats.rank_vtime[static_cast<std::size_t>(r)] = comm.vclock();
       stats.rank_bytes_sent[static_cast<std::size_t>(r)] = comm.bytes_sent();
+      stats.rank_send_stall_seconds[static_cast<std::size_t>(r)] = comm.send_stall_seconds();
     });
   }
   for (auto& t : threads) t.join();
@@ -112,6 +123,11 @@ LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn, Net
     if (err) std::rethrow_exception(err);
   }
   return stats;
+}
+
+LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
+                   const NetworkConfig& net_cfg, std::shared_ptr<FaultInjector> faults) {
+  return launch(nranks, fn, make_network_model(net_cfg), std::move(faults));
 }
 
 }  // namespace smart::simmpi

@@ -18,24 +18,30 @@
 #include "simmpi/communicator.h"
 #include "simmpi/fault.h"
 #include "simmpi/mailbox.h"
+#include "simmpi/network.h"
 
 namespace smart::simmpi {
 
 class World {
  public:
-  explicit World(int nranks, NetworkModel net = {});
+  /// `net` null means the environment-driven default model
+  /// (NetworkConfig::from_env — flat alpha-beta unless SMART_NET_MODEL says
+  /// otherwise).  The model's lane capacities are applied to every rank's
+  /// mailbox here, before any traffic flows.
+  explicit World(int nranks, std::shared_ptr<NetworkModel> net = nullptr);
 
   int size() const { return static_cast<int>(mailboxes_.size()); }
   Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
-  const NetworkModel& network() const { return net_; }
+  NetworkModel& network() const { return *net_; }
 
   /// Installs the shared fault-injection rule set (null = fault-free).
   void set_fault_injector(std::shared_ptr<FaultInjector> faults) { faults_ = std::move(faults); }
   FaultInjector* faults() const { return faults_.get(); }
 
-  /// Declares a rank dead and wakes every blocked timed receiver so waits
-  /// on the dead peer resolve to PeerUnreachable instead of their full
-  /// timeout.
+  /// Declares a rank dead: wakes every blocked timed receiver so waits on
+  /// the dead peer resolve to PeerUnreachable instead of their full
+  /// timeout, and marks the rank's own mailbox dead so senders blocked on
+  /// its full lanes (backpressure) release instead of hanging forever.
   void mark_rank_dead(int rank);
   bool rank_dead(int rank) const;
   /// World ranks currently dead, ascending.
@@ -43,7 +49,7 @@ class World {
 
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  NetworkModel net_;
+  std::shared_ptr<NetworkModel> net_;
   std::shared_ptr<FaultInjector> faults_;
   mutable std::mutex dead_mu_;
   std::vector<bool> dead_;
@@ -53,6 +59,9 @@ class World {
 struct LaunchStats {
   std::vector<double> rank_vtime;
   std::vector<std::size_t> rank_bytes_sent;
+  /// Wall seconds each rank's sends spent blocked on full destination
+  /// lanes (backpressure); all zeros when no lane ever filled.
+  std::vector<double> rank_send_stall_seconds;
   double wall_seconds = 0.0;
   /// World ranks a FaultInjector kKillRank rule terminated, ascending.
   std::vector<int> ranks_killed;
@@ -68,7 +77,15 @@ struct LaunchStats {
 /// `faults` arms deterministic fault injection; ranks it kills are
 /// recorded in LaunchStats::ranks_killed, not rethrown.
 LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
-                   NetworkModel net = {}, std::shared_ptr<FaultInjector> faults = nullptr);
+                   std::shared_ptr<NetworkModel> net = nullptr,
+                   std::shared_ptr<FaultInjector> faults = nullptr);
+
+/// Convenience overload: builds the model from `net_cfg` (flat, fattree, or
+/// dragonfly per its `model` field) — the form the CLI flags and topology
+/// benches use.
+LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
+                   const NetworkConfig& net_cfg,
+                   std::shared_ptr<FaultInjector> faults = nullptr);
 
 /// The communicator of the calling rank thread, or nullptr outside launch().
 /// This is how the Smart scheduler discovers the SPMD context it was

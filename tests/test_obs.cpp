@@ -506,7 +506,7 @@ TEST(MetricsGather, DeadRankIsReportedMissingNotHung) {
           EXPECT_NE(js.str().find("missing_ranks"), std::string::npos);
         }
       },
-      {}, faults);
+      nullptr, faults);
 }
 
 // --- RunStats dumpers ------------------------------------------------------
