@@ -37,6 +37,9 @@ class AnalyticsApp {
   /// Installs a per-phase CSV recorder on the underlying scheduler (see
   /// RunOptions::phase_tracer); nullptr clears it.
   virtual void set_phase_tracer(PhaseTracer* tracer) = 0;
+  /// Records the run's master seed on the underlying scheduler so its
+  /// RunStats dumps (RUNSTATS lines) echo how to reproduce the run.
+  virtual void set_master_seed(std::size_t seed) = 0;
 };
 
 namespace detail {
@@ -51,6 +54,7 @@ class SingleKeyApp : public AnalyticsApp {
   const RunStats& stats() const override { return sched_->stats(); }
   void set_global_combination(bool flag) override { sched_->set_global_combination(flag); }
   void set_phase_tracer(PhaseTracer* tracer) override { sched_->set_phase_tracer(tracer); }
+  void set_master_seed(std::size_t seed) override { sched_->set_master_seed(seed); }
 
  protected:
   std::unique_ptr<SchedulerT> sched_;
@@ -67,6 +71,7 @@ class WindowApp : public AnalyticsApp {
   const RunStats& stats() const override { return sched_->stats(); }
   void set_global_combination(bool flag) override { sched_->set_global_combination(flag); }
   void set_phase_tracer(PhaseTracer* tracer) override { sched_->set_phase_tracer(tracer); }
+  void set_master_seed(std::size_t seed) override { sched_->set_master_seed(seed); }
 
  private:
   std::unique_ptr<SchedulerT> sched_;
@@ -94,6 +99,7 @@ class KMeansApp : public AnalyticsApp {
   const RunStats& stats() const override { return sched_->stats(); }
   void set_global_combination(bool flag) override { sched_->set_global_combination(flag); }
   void set_phase_tracer(PhaseTracer* tracer) override { sched_->set_phase_tracer(tracer); }
+  void set_master_seed(std::size_t seed) override { sched_->set_master_seed(seed); }
 
  private:
   static constexpr std::size_t kK = 8;

@@ -32,7 +32,7 @@ using namespace smart;
 class SimDriver {
  public:
   SimDriver(const std::string& kind, simmpi::Communicator* comm, ThreadPool* pool,
-            std::size_t size_hint)
+            std::size_t size_hint, std::uint64_t master_seed)
       : kind_(kind) {
     if (kind == "heat3d") {
       heat_ = std::make_unique<sim::Heat3D>(
@@ -41,8 +41,11 @@ class SimDriver {
       lulesh_ = std::make_unique<sim::MiniLulesh>(sim::MiniLulesh::Params{.edge = size_hint},
                                                   comm, pool);
     } else if (kind == "emulator") {
-      emulator_ = std::make_unique<sim::Emulator>(
-          sim::Emulator::Params{.step_len = size_hint * size_hint * 4});
+      // Each rank's stream is derived from the one master seed, so --seed
+      // reproduces the whole cluster's data and ranks stay decorrelated.
+      emulator_ = std::make_unique<sim::Emulator>(sim::Emulator::Params{
+          .step_len = size_hint * size_hint * 4,
+          .seed = derive_seed(master_seed, static_cast<std::uint64_t>(comm->rank()))});
     } else {
       throw std::invalid_argument("unknown --sim '" + kind + "' (heat3d|lulesh|emulator)");
     }
@@ -115,6 +118,17 @@ int run(const ArgParser& args) {
   if (args.has("net-lane-cap-bytes")) {
     net_cfg.lane_capacity_bytes = static_cast<std::size_t>(args.get_long("net-lane-cap-bytes"));
   }
+
+  // Reproducibility: one master seed for the run (rank streams derive from
+  // it), plus the deterministic schedule-exploration knobs.  A failing
+  // explored schedule is reproduced with
+  //   --schedule replay --schedule-trace "<string the harness printed>".
+  const auto master_seed = static_cast<std::uint64_t>(args.get_long("seed"));
+  if (args.has("schedule")) net_cfg.sched_policy = args.get("schedule");
+  net_cfg.sched_seed = args.has("schedule-seed")
+                           ? static_cast<std::uint64_t>(args.get_long("schedule-seed"))
+                           : master_seed;
+  if (args.has("schedule-trace")) net_cfg.sched_trace = args.get("schedule-trace");
   const auto net = simmpi::make_network_model(net_cfg);
 
   const std::string trace_out = args.has("trace-out") ? args.get("trace-out") : "";
@@ -130,7 +144,7 @@ int run(const ArgParser& args) {
   WallTimer wall;
   auto stats = simmpi::launch(ranks, [&](simmpi::Communicator& comm) {
     ThreadPool sim_pool(threads);
-    SimDriver sim(sim_kind, &comm, &sim_pool, size_hint);
+    SimDriver sim(sim_kind, &comm, &sim_pool, size_hint, master_seed);
 
     // The app body runs inside this nested lambda so that its early
     // returns still fall through to the trace gather below — the gather is
@@ -179,6 +193,7 @@ int run(const ArgParser& args) {
 
     auto app = smart::bench::make_app(app_name, threads, sim.data_min(), sim.data_max());
     app->set_phase_tracer(tracer);
+    app->set_master_seed(static_cast<std::size_t>(master_seed));
     if (mode == "time") {
       for (int s = 0; s < steps; ++s) app->run(sim.step(), sim.output_len());
     } else {
@@ -206,7 +221,7 @@ int run(const ArgParser& args) {
       return;
     }
     if (comm.rank() == 0) {
-      std::cout << app_name << " over " << steps << " step(s): ";
+      std::cout << "RUNSTATS " << app_name << " ";
       app->stats().dump_json(std::cout);
       std::cout << "\n";
     }
@@ -276,6 +291,10 @@ int main(int argc, char** argv) {
       .option("ranks-per-node", "ranks sharing one simulated node")
       .option("net-lane-cap", "mailbox lane capacity in messages (0 = unbounded)")
       .option("net-lane-cap-bytes", "mailbox lane capacity in bytes (0 = unbounded)")
+      .option("seed", "master seed: rank data streams derive from it; echoed in RUNSTATS", "0")
+      .option("schedule", "deterministic delivery policy: fifo | random | reorder | replay")
+      .option("schedule-seed", "schedule policy seed (defaults to --seed)")
+      .option("schedule-trace", "recorded delivery trace for --schedule replay")
       .flag("list", "print available simulations and analytics");
   try {
     args.parse(argc, argv);

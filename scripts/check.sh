@@ -42,6 +42,21 @@ cmake --build "$repo/build" -j "$jobs"
 echo "== tier-1: ctest =="
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" --timeout 120
 
+echo "== tier-1: schedule exploration (bounded) =="
+# Deterministic-schedule sweep (DESIGN.md "Deterministic schedule
+# exploration"): re-run the property harness with a wider exploration width
+# than the default ctest pass.  Seeds are fixed and every failure prints a
+# `--schedule replay --schedule-trace "..."` recipe, so a red run here is
+# reproducible from the log alone.  Also runnable as `ctest -L schedule`.
+SMART_EXPLORE_SCHEDULES=10 "$repo/build/tests/test_schedule_explore" --gtest_brief=1
+# CLI plumbing: a deterministically scheduled run must complete and echo its
+# master seed in the RUNSTATS line (the log-driven repro path).
+"$repo/build/examples/smart_cli" --sim heat3d --app histogram --ranks 4 \
+  --threads 2 --steps 2 --seed 1234 --schedule random \
+  | grep -q '"master_seed": 1234' \
+  || { echo "scheduled run lost its master_seed echo" >&2; exit 1; }
+echo "   schedule exploration ok"
+
 echo "== tier-1: trace validation =="
 # A real 4-rank run must emit a Chrome-trace file that parses as JSON and
 # contains matched span/flow events from more than one rank (the

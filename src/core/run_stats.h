@@ -33,7 +33,8 @@ namespace smart {
   X(reduction_seconds)                                                              \
   X(combination_seconds)                                                            \
   X(global_seconds)                                                                 \
-  X(copy_seconds)
+  X(copy_seconds)                                                                   \
+  X(master_seed)
 
 struct RunStats {
   // Work accounting.
@@ -73,6 +74,11 @@ struct RunStats {
   double combination_seconds = 0.0;   ///< local combination
   double global_seconds = 0.0;        ///< serialize + exchange + merge + bcast
   double copy_seconds = 0.0;          ///< input copy (copy_input mode / space sharing feed)
+
+  // Reproducibility: the effective master seed of the run (CLI --seed /
+  // Scheduler::set_master_seed), echoed in every dump so a RUNSTATS line
+  // is self-describing about how to re-run it.  0 = unseeded.
+  std::size_t master_seed = 0;
 
   void reset() { *this = RunStats{}; }
 

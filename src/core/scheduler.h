@@ -244,7 +244,18 @@ class Scheduler {
   }
 
   const RunStats& stats() const { return stats_; }
-  void reset_stats() { stats_.reset(); }
+  void reset_stats() {
+    stats_.reset();
+    stats_.master_seed = master_seed_;  // the seed identifies the run, not a counter
+  }
+
+  /// Records the run's master seed (CLI --seed) so every stats dump echoes
+  /// it; survives reset_stats().
+  void set_master_seed(std::size_t seed) {
+    master_seed_ = seed;
+    stats_.master_seed = seed;
+  }
+  std::size_t master_seed() const { return master_seed_; }
 
   int num_threads() const { return args_.num_threads; }
   std::size_t chunk_size() const { return args_.chunk_size; }
@@ -729,6 +740,7 @@ class Scheduler {
   std::size_t tracked_red_bytes_ = 0;
   std::unique_ptr<CircularBuffer<FeedCell>> feed_buffer_;
   RunStats stats_;
+  std::size_t master_seed_ = 0;
 };
 
 }  // namespace smart

@@ -170,7 +170,13 @@ void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool s
           if (obs::trace_enabled()) {
             obs::TraceCollector::instance().instant("fault.delay", "fault", {{"tag", tag}});
           }
-          std::this_thread::sleep_for(std::chrono::duration<double>(rule->delay_seconds));
+          // Deterministic mode: the delay is purely virtual — charging the
+          // clock shifts this message's arrival_vtime (computed below from
+          // vclock) so the delay is a *scheduled* event the policies can
+          // reorder, with no wall sleep to make replays timing-dependent.
+          if (world_.schedule() == nullptr) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(rule->delay_seconds));
+          }
           state_->vclock += rule->delay_seconds;
           break;
         case FaultAction::kDuplicate:
@@ -199,6 +205,11 @@ void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool s
     e.flow_id = tc.next_flow_id();
     tc.flow_start("msg", "mpi", e.flow_id);
   }
+  // Deterministic mode: the delivery decision belongs to the schedule
+  // controller, not to whichever thread reaches the mailbox first.  Submit
+  // never blocks (backpressure stalls are wall-clock effects the mode
+  // excludes), so stall accounting stays zero.
+  ScheduleController* sched = world_.schedule();
   double stalled_seconds = 0.0;
   if (duplicate) {
     // Both envelopes reference the same immutable bytes; copying the
@@ -206,9 +217,17 @@ void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool s
     // receive steals the storage out from under the other.
     e.shared_payload = true;
     Envelope copy = e;
-    stalled_seconds += world_.mailbox(world_dest).post(std::move(copy));
+    if (sched != nullptr) {
+      sched->submit(world_dest, std::move(copy));
+    } else {
+      stalled_seconds += world_.mailbox(world_dest).post(std::move(copy));
+    }
   }
-  stalled_seconds += world_.mailbox(world_dest).post(std::move(e));
+  if (sched != nullptr) {
+    sched->submit(world_dest, std::move(e));
+  } else {
+    stalled_seconds += world_.mailbox(world_dest).post(std::move(e));
+  }
   if (stalled_seconds > 0.0) {
     // Backpressure: the destination lane was full and this rank's send
     // blocked until the receiver drained it.  The stall is real sender
@@ -257,7 +276,10 @@ void Communicator::inject_recv_faults(int world_source, int tag) {
         if (obs::trace_enabled()) {
           obs::TraceCollector::instance().instant("fault.delay", "fault", {{"tag", tag}});
         }
-        std::this_thread::sleep_for(std::chrono::duration<double>(rule->delay_seconds));
+        // Virtual under a schedule controller; see send_envelope's kDelay.
+        if (world_.schedule() == nullptr) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(rule->delay_seconds));
+        }
         state_->vclock += rule->delay_seconds;
         break;
       case FaultAction::kDrop:

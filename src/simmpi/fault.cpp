@@ -16,6 +16,8 @@ PeerUnreachable::PeerUnreachable(int source, int tag, double waited_seconds,
       tag_(tag),
       waited_seconds_(waited_seconds) {}
 
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
 void FaultInjector::add_rule(FaultRule rule) {
   std::lock_guard<std::mutex> lock(mu_);
   rules_.push_back(Armed{rule, 0});
@@ -33,6 +35,10 @@ std::optional<FaultRule> FaultInjector::on_operation(FaultOp op, int rank, int p
     const std::size_t match_index = armed.matched++;
     if (match_index < r.skip) continue;
     if (match_index - r.skip >= r.max_fires) continue;
+    if (r.probability < 1.0 &&
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng_) >= r.probability) {
+      continue;  // eligible but the seeded coin said no; later rules may fire
+    }
     return r;
   }
   return std::nullopt;

@@ -25,6 +25,7 @@
 #include <limits>
 #include <mutex>
 #include <optional>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -57,6 +58,11 @@ struct FaultRule {
   double delay_seconds = 0.0;  ///< kDelay only
   std::size_t skip = 0;        ///< matching operations let through first
   std::size_t max_fires = std::numeric_limits<std::size_t>::max();
+  /// Chance an otherwise-firing match actually fires (1.0 = always, the
+  /// deterministic default).  Draws come from the injector's seeded rng,
+  /// so a (seed, rule set) pair reproduces the same fault pattern — the
+  /// property harness's randomized fault configs hang off this.
+  double probability = 1.0;
 };
 
 /// Raised by timed receives (Communicator::recv_timeout and everything
@@ -89,7 +95,14 @@ struct RankKilled {
 /// evaluated in insertion order; the first rule that fires wins.
 class FaultInjector {
  public:
+  /// `seed` drives the probabilistic rules (FaultRule::probability < 1);
+  /// purely deterministic rule sets never touch the rng, so the default
+  /// seed changes nothing for them.
+  explicit FaultInjector(std::uint64_t seed = 0);
+
   void add_rule(FaultRule rule);
+
+  std::uint64_t seed() const { return seed_; }
 
   /// Consulted by Communicator on every send/recv.  Returns the fired
   /// rule, if any.  Counting is atomic, so concurrent ranks observe a
@@ -106,6 +119,8 @@ class FaultInjector {
 
   mutable std::mutex mu_;
   std::vector<Armed> rules_;
+  std::uint64_t seed_ = 0;
+  std::mt19937_64 rng_;  ///< guarded by mu_; only probabilistic rules draw
 };
 
 }  // namespace smart::simmpi

@@ -1,6 +1,7 @@
 #include "simmpi/mailbox.h"
 
 #include "obs/metrics.h"
+#include "simmpi/schedule.h"
 
 namespace smart::simmpi {
 
@@ -17,6 +18,12 @@ void Mailbox::set_lane_capacity(std::size_t max_msgs, std::size_t max_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   max_lane_msgs_ = max_msgs;
   max_lane_bytes_ = max_bytes;
+}
+
+void Mailbox::set_schedule(ScheduleController* sched, int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sched_ = sched;
+  sched_rank_ = rank;
 }
 
 bool Mailbox::lane_full_locked(const Lane& lane, std::size_t incoming_bytes) const {
@@ -70,8 +77,16 @@ double Mailbox::post(Envelope e) {
                             .count();
     }
   }
+  enqueue_locked(std::move(e));
+  return stalled_seconds;
+}
+
+void Mailbox::enqueue_locked(Envelope e) {
+  const int source = e.source;
+  const int tag = e.tag;
+  const std::size_t nbytes = e.size();
   e.seq = next_seq_++;
-  Lane& lane = lanes_[key];
+  Lane& lane = lanes_[lane_key(source, tag)];
   lane.source = source;
   lane.tag = tag;
   lane.bytes += nbytes;
@@ -91,7 +106,37 @@ double Mailbox::post(Envelope e) {
     peak_bytes.update_max(static_cast<double>(pending_bytes_));
   }
   wake_matching_waiter_locked(source, tag, epoch);
-  return stalled_seconds;
+}
+
+void Mailbox::post_scheduled(Envelope e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enqueue_locked(std::move(e));
+}
+
+void Mailbox::notify_scheduled(int source, int tag, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Prefer a receiver whose selector the newly *held* message satisfies —
+  // it will pump the controller and (policy willing) commit it.  When no
+  // selector matches, wake any unsignaled waiter anyway: under replay the
+  // held message may be the event the policy is waiting for, and committing
+  // it can expose follow-on commits that match receivers whose selectors
+  // this submission does not — every committed envelope re-wakes its own
+  // matching waiter via enqueue_locked, so one arbitrary pumper suffices.
+  for (Waiter* w : waiters_) {
+    if (!w->signaled && selector_matches(w->source, w->tag, source, tag) &&
+        epoch_matches(w->epoch, epoch)) {
+      w->signaled = true;
+      w->cv.notify_one();
+      return;
+    }
+  }
+  for (Waiter* w : waiters_) {
+    if (!w->signaled) {
+      w->signaled = true;
+      w->cv.notify_one();
+      return;
+    }
+  }
 }
 
 std::optional<Envelope> Mailbox::take_locked(int source, int tag, std::uint64_t epoch) {
@@ -147,6 +192,7 @@ void Mailbox::unregister_locked(Waiter* w) {
 }
 
 Envelope Mailbox::receive(int source, int tag, std::uint64_t epoch) {
+  if (sched_ != nullptr) return receive_scheduled(source, tag, epoch);
   std::unique_lock<std::mutex> lock(mu_);
   if (auto e = take_locked(source, tag, epoch)) return std::move(*e);
   Waiter w{source, tag, epoch};
@@ -166,6 +212,7 @@ Envelope Mailbox::receive(int source, int tag, std::uint64_t epoch) {
 std::optional<Envelope> Mailbox::receive_for(int source, int tag,
                                              std::chrono::nanoseconds timeout,
                                              std::uint64_t epoch) {
+  if (sched_ != nullptr) return receive_for_scheduled(source, tag, timeout, epoch);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(mu_);
   if (auto e = take_locked(source, tag, epoch)) return e;
@@ -203,8 +250,76 @@ void Mailbox::mark_dead() {
 }
 
 std::optional<Envelope> Mailbox::try_receive(int source, int tag, std::uint64_t epoch) {
+  // Scheduled mode: give the controller the chance to commit held traffic
+  // first, so a try_receive observes whatever the policy delivers (and a
+  // probe loop cannot spin forever on messages held upstream).
+  if (sched_ != nullptr) sched_->pump(sched_rank_, /*force=*/true);
   std::lock_guard<std::mutex> lock(mu_);
   return take_locked(source, tag, epoch);
+}
+
+Envelope Mailbox::receive_scheduled(int source, int tag, std::uint64_t epoch) {
+  Waiter w{source, tag, epoch};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    waiters_.push_back(&w);
+  }
+  for (;;) {
+    // Arm, then pump, then take, then block-if-unsignaled.  The ordering
+    // closes the wake-up race: a submit landing after the pump found
+    // nothing (but before the wait) sets w.signaled via notify_scheduled,
+    // so the wait falls through and the loop pumps again.  The pump runs
+    // without mu_ held — lock order is controller first, then mailbox
+    // (pump's commits re-enter via post_scheduled).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      w.signaled = false;
+    }
+    sched_->pump(sched_rank_, /*force=*/true);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (auto e = take_locked(source, tag, epoch)) {
+      unregister_locked(&w);
+      return std::move(*e);
+    }
+    w.cv.wait(lock, [&] { return w.signaled; });
+  }
+}
+
+std::optional<Envelope> Mailbox::receive_for_scheduled(int source, int tag,
+                                                       std::chrono::nanoseconds timeout,
+                                                       std::uint64_t epoch) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  Waiter w{source, tag, epoch};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    waiters_.push_back(&w);
+  }
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      w.signaled = false;
+    }
+    sched_->pump(sched_rank_, /*force=*/true);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (auto e = take_locked(source, tag, epoch)) {
+      unregister_locked(&w);
+      return e;
+    }
+    if (!w.cv.wait_until(lock, deadline, [&] { return w.signaled; })) {
+      // Deadline passed unsignaled.  A message may have been *submitted*
+      // right at the deadline and still be held by the controller — a
+      // plain take here would miss it even though it "arrived" in time.
+      // Final forced pump + take closes that window deterministically
+      // (the post-at-deadline ordering test in test_schedule_explore.cpp
+      // pins this): the message is either returned or still queued for a
+      // later receive — never lost.
+      unregister_locked(&w);
+      lock.unlock();
+      sched_->pump(sched_rank_, /*force=*/true);
+      lock.lock();
+      return take_locked(source, tag, epoch);
+    }
+  }
 }
 
 bool Mailbox::has_match(int source, int tag) const {

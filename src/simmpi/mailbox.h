@@ -21,6 +21,8 @@
 
 namespace smart::simmpi {
 
+class ScheduleController;
+
 constexpr int kAnySource = -1;
 constexpr int kAnyTag = -0x7fffffff;
 /// Wildcard for Envelope::epoch matching (the default for every receive
@@ -86,11 +88,29 @@ class Mailbox {
   /// construction from the NetworkModel's config).
   void set_lane_capacity(std::size_t max_msgs, std::size_t max_bytes);
 
+  /// Puts this mailbox in deterministic-schedule mode (simmpi/schedule.h):
+  /// receive paths pump `sched` for rank `rank` (this mailbox's owner)
+  /// before blocking, so envelopes the controller holds are committed in
+  /// policy order exactly when a receiver needs traffic.  World wires this
+  /// before any traffic flows; null restores normal mode.
+  void set_schedule(ScheduleController* sched, int rank);
+
   /// Enqueues e, blocking while the destination lane is at capacity (see
   /// class comment).  Returns the seconds the sender was stalled (0.0 when
   /// the lane had room) so the communicator can charge the stall to the
   /// sender's virtual clock and the simmpi.send_stall_us histogram.
   double post(Envelope e);
+
+  /// Scheduled-mode commit (ScheduleController::pump only): enqueues
+  /// without the backpressure wait — capacity stalls are wall-clock
+  /// effects the deterministic mode deliberately excludes, and a receiver
+  /// pumping its own mailbox must never block on it.
+  void post_scheduled(Envelope e);
+
+  /// Scheduled-mode wake-up (ScheduleController::submit only): signals one
+  /// blocked receiver whose selector matches a newly *held* message so it
+  /// re-pumps the controller.  The message itself is not yet queued here.
+  void notify_scheduled(int source, int tag, std::uint64_t epoch);
 
   /// Blocks until a matching message arrives.
   Envelope receive(int source, int tag, std::uint64_t epoch = kAnyEpoch);
@@ -177,6 +197,15 @@ class Mailbox {
 
   std::optional<Envelope> take_locked(int source, int tag, std::uint64_t epoch);
   void unregister_locked(Waiter* w);
+  void enqueue_locked(Envelope e);
+
+  /// Scheduled-mode receive loops: pump the controller (never while
+  /// holding mu_ — lock order is controller first, then mailbox), then
+  /// take; block armed against the submit/post wake-ups in between.
+  Envelope receive_scheduled(int source, int tag, std::uint64_t epoch);
+  std::optional<Envelope> receive_for_scheduled(int source, int tag,
+                                                std::chrono::nanoseconds timeout,
+                                                std::uint64_t epoch);
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Lane> lanes_;
@@ -191,6 +220,10 @@ class Mailbox {
   std::size_t max_lane_msgs_ = 0;   ///< 0 = unbounded
   std::size_t max_lane_bytes_ = 0;  ///< 0 = unbounded
   bool dead_ = false;
+  /// Deterministic-schedule mode (null = normal).  Set before traffic
+  /// flows and never changed mid-run, so reads need no synchronization.
+  ScheduleController* sched_ = nullptr;
+  int sched_rank_ = -1;  ///< this mailbox's world rank (the pump target)
 };
 
 }  // namespace smart::simmpi

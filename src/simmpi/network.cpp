@@ -159,6 +159,10 @@ NetworkConfig NetworkConfig::from_env() {
       env_long("SMART_NET_LANE_CAP", static_cast<long>(cfg.lane_capacity_msgs)));
   cfg.lane_capacity_bytes = static_cast<std::size_t>(
       env_long("SMART_NET_LANE_CAP_BYTES", static_cast<long>(cfg.lane_capacity_bytes)));
+  cfg.sched_policy = env_string("SMART_SCHED_POLICY", cfg.sched_policy);
+  cfg.sched_seed =
+      static_cast<std::uint64_t>(env_long("SMART_SCHED_SEED", static_cast<long>(cfg.sched_seed)));
+  cfg.sched_trace = env_string("SMART_SCHED_TRACE", cfg.sched_trace);
   return cfg;
 }
 

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -72,11 +73,22 @@ struct NetworkConfig {
   std::size_t lane_capacity_msgs = 512;
   std::size_t lane_capacity_bytes = 32u * 1024 * 1024;
 
+  // Deterministic schedule exploration (simmpi/schedule.h).  Non-empty
+  // sched_policy turns the mode on: every cross-rank delivery decision is
+  // serialized through a ScheduleController driven by the named policy
+  // (fifo | random | reorder | replay).  sched_seed seeds random, indexes
+  // reorder's bounded perturbation, and is stamped into traces; sched_trace
+  // is the recorded delivery string replay reproduces bit-exactly.
+  std::string sched_policy;  ///< "" or "off" = normal nondeterministic mode
+  std::uint64_t sched_seed = 0;
+  std::string sched_trace;
+
   /// Defaults overridden by SMART_NET_MODEL, SMART_NET_ALPHA,
   /// SMART_NET_BETA, SMART_NET_RANKS_PER_NODE, SMART_NET_NODES_PER_EDGE,
   /// SMART_NET_NODES_PER_GROUP, SMART_NET_HOP_LATENCY,
   /// SMART_NET_UPLINK_FACTOR, SMART_NET_GLOBAL_FACTOR,
-  /// SMART_NET_LANE_CAP (messages), SMART_NET_LANE_CAP_BYTES.
+  /// SMART_NET_LANE_CAP (messages), SMART_NET_LANE_CAP_BYTES,
+  /// SMART_SCHED_POLICY, SMART_SCHED_SEED, SMART_SCHED_TRACE.
   static NetworkConfig from_env();
 };
 

@@ -26,6 +26,23 @@ World::World(int nranks, std::shared_ptr<NetworkModel> net) : net_(std::move(net
     mailboxes_.push_back(std::move(box));
   }
   dead_.assign(static_cast<std::size_t>(nranks), false);
+  // Deterministic mode straight from the network config (SMART_SCHED_* /
+  // CLI flags); an explicitly injected controller (set_schedule) replaces
+  // this one before traffic flows.
+  set_schedule(make_schedule_controller(cfg));
+}
+
+void World::set_schedule(std::shared_ptr<ScheduleController> sched) {
+  sched_ = std::move(sched);
+  if (sched_) {
+    std::vector<Mailbox*> boxes;
+    boxes.reserve(mailboxes_.size());
+    for (auto& box : mailboxes_) boxes.push_back(box.get());
+    sched_->attach(std::move(boxes));
+  }
+  for (int r = 0; r < static_cast<int>(mailboxes_.size()); ++r) {
+    mailboxes_[static_cast<std::size_t>(r)]->set_schedule(sched_.get(), r);
+  }
 }
 
 void World::mark_rank_dead(int rank) {
@@ -79,9 +96,18 @@ CurrentGuard::~CurrentGuard() { g_current = previous_; }
 }  // namespace detail
 
 LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
-                   std::shared_ptr<NetworkModel> net, std::shared_ptr<FaultInjector> faults) {
+                   std::shared_ptr<NetworkModel> net, std::shared_ptr<FaultInjector> faults,
+                   std::shared_ptr<ScheduleController> sched) {
   World world(nranks, std::move(net));
   world.set_fault_injector(std::move(faults));
+  if (sched) world.set_schedule(std::move(sched));
+  if (world.schedule() != nullptr && obs::trace_enabled()) {
+    // Stamp the schedule identity into the trace so a recorded failure
+    // names the policy/seed that produced it.
+    obs::TraceCollector::instance().instant(
+        std::string("schedule.") + world.schedule()->policy_name(), "schedule",
+        {{"seed", static_cast<std::int64_t>(world.schedule()->seed())}});
+  }
   LaunchStats stats;
   stats.rank_vtime.assign(static_cast<std::size_t>(nranks), 0.0);
   stats.rank_bytes_sent.assign(static_cast<std::size_t>(nranks), 0);
@@ -126,8 +152,9 @@ LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
 }
 
 LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
-                   const NetworkConfig& net_cfg, std::shared_ptr<FaultInjector> faults) {
-  return launch(nranks, fn, make_network_model(net_cfg), std::move(faults));
+                   const NetworkConfig& net_cfg, std::shared_ptr<FaultInjector> faults,
+                   std::shared_ptr<ScheduleController> sched) {
+  return launch(nranks, fn, make_network_model(net_cfg), std::move(faults), std::move(sched));
 }
 
 }  // namespace smart::simmpi

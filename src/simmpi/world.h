@@ -19,6 +19,7 @@
 #include "simmpi/fault.h"
 #include "simmpi/mailbox.h"
 #include "simmpi/network.h"
+#include "simmpi/schedule.h"
 
 namespace smart::simmpi {
 
@@ -38,6 +39,14 @@ class World {
   void set_fault_injector(std::shared_ptr<FaultInjector> faults) { faults_ = std::move(faults); }
   FaultInjector* faults() const { return faults_.get(); }
 
+  /// Installs (or, with null, removes) the deterministic schedule
+  /// controller and wires every mailbox to it.  The World constructor
+  /// already does this automatically when the network config's
+  /// sched_policy is set; call this only to inject a custom controller
+  /// (e.g. a test policy), and only before any traffic flows.
+  void set_schedule(std::shared_ptr<ScheduleController> sched);
+  ScheduleController* schedule() const { return sched_.get(); }
+
   /// Declares a rank dead: wakes every blocked timed receiver so waits on
   /// the dead peer resolve to PeerUnreachable instead of their full
   /// timeout, and marks the rank's own mailbox dead so senders blocked on
@@ -51,6 +60,7 @@ class World {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::shared_ptr<NetworkModel> net_;
   std::shared_ptr<FaultInjector> faults_;
+  std::shared_ptr<ScheduleController> sched_;
   mutable std::mutex dead_mu_;
   std::vector<bool> dead_;
 };
@@ -76,16 +86,21 @@ struct LaunchStats {
 /// ranks finish or the world would deadlock otherwise.  A non-null
 /// `faults` arms deterministic fault injection; ranks it kills are
 /// recorded in LaunchStats::ranks_killed, not rethrown.
+/// A non-null `sched` installs a deterministic schedule controller for the
+/// launch (tests inject custom policies this way); by default the world
+/// builds one itself iff the network config's sched_policy says so.
 LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
                    std::shared_ptr<NetworkModel> net = nullptr,
-                   std::shared_ptr<FaultInjector> faults = nullptr);
+                   std::shared_ptr<FaultInjector> faults = nullptr,
+                   std::shared_ptr<ScheduleController> sched = nullptr);
 
 /// Convenience overload: builds the model from `net_cfg` (flat, fattree, or
 /// dragonfly per its `model` field) — the form the CLI flags and topology
 /// benches use.
 LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
                    const NetworkConfig& net_cfg,
-                   std::shared_ptr<FaultInjector> faults = nullptr);
+                   std::shared_ptr<FaultInjector> faults = nullptr,
+                   std::shared_ptr<ScheduleController> sched = nullptr);
 
 /// The communicator of the calling rank thread, or nullptr outside launch().
 /// This is how the Smart scheduler discovers the SPMD context it was

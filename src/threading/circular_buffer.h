@@ -13,6 +13,21 @@
 
 namespace smart {
 
+/// Thrown by CircularBuffer::push when the channel is closed.  Derives
+/// from std::runtime_error, so pre-existing catch sites keep working; the
+/// distinct type lets callers that care (a producer whose value was
+/// rejected) recover it without pattern-matching on message strings.
+class ChannelClosed : public std::runtime_error {
+ public:
+  ChannelClosed() : std::runtime_error("CircularBuffer: channel closed") {}
+};
+
+/// Close/drain semantics: close() ends the *input* side only.  Values
+/// already in the buffer stay poppable — consumers drain them and then get
+/// nullopt; producers fail from the moment of close, including producers
+/// that were already blocked waiting for space.  A blocked-then-closed
+/// push returns the caller's value via offer() (or throws ChannelClosed
+/// from push()) — the value is never silently dropped.
 template <typename T>
 class CircularBuffer {
  public:
@@ -22,15 +37,34 @@ class CircularBuffer {
     }
   }
 
-  /// Blocks while the buffer is full.  Throws if the buffer was closed.
+  /// Blocks while the buffer is full.  Throws ChannelClosed if the buffer
+  /// is (or, while blocked, becomes) closed — the value is then lost with
+  /// the exception; producers that must not lose it use offer().
   void push(T value) {
+    if (auto rejected = offer(std::move(value))) {
+      // The value still exists here (in `rejected`); a caller using push()
+      // has opted into exception semantics, so it is discarded with the
+      // throw.  It used to be destroyed inside a generic runtime_error
+      // with no way to tell "closed" from any other failure and no way to
+      // recover the value a blocked-then-closed push was carrying; the
+      // typed exception plus offer() fix both.
+      throw ChannelClosed();
+    }
+  }
+
+  /// push() that reports rejection by value instead of exception: returns
+  /// nullopt when the value was enqueued, or the value back when the
+  /// buffer was closed (before or during the blocking wait) so the caller
+  /// can reroute it.
+  std::optional<T> offer(T value) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] { return count_ < cells_.size() || closed_; });
-    if (closed_) throw std::runtime_error("CircularBuffer: push after close");
+    if (closed_) return std::optional<T>(std::move(value));
     cells_[(head_ + count_) % cells_.size()] = std::move(value);
     ++count_;
     lock.unlock();
     not_empty_.notify_one();
+    return std::nullopt;
   }
 
   /// Blocks while the buffer is empty; returns nullopt once the buffer is

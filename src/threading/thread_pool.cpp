@@ -17,8 +17,10 @@ ThreadPool::ThreadPool(int num_workers, bool pin_threads) {
   busy_seconds_.assign(static_cast<std::size_t>(num_workers), 0.0);
   errors_.assign(static_cast<std::size_t>(num_workers), nullptr);
   workers_.reserve(static_cast<std::size_t>(num_workers));
+  worker_ids_.reserve(static_cast<std::size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this, i, pin_threads] { worker_loop(i, pin_threads); });
+    worker_ids_.push_back(workers_.back().get_id());
   }
 }
 
@@ -68,7 +70,39 @@ void ThreadPool::worker_loop(int id, bool pin) {
   }
 }
 
+bool ThreadPool::on_worker_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread::id& id : worker_ids_) {
+    if (id == self) return true;
+  }
+  return false;
+}
+
+std::vector<double> ThreadPool::run_inline(const std::function<void(int)>& fn) {
+  // Nested region from a worker thread: serialize on the caller.  Results
+  // are kept local — the outer region owns busy_seconds_/errors_, and the
+  // caller-worker's own slot will be written when its outer leg finishes.
+  std::vector<double> busy(static_cast<std::size_t>(size()), 0.0);
+  std::exception_ptr first_error = nullptr;
+  for (int id = 0; id < size(); ++id) {
+    ThreadCpuTimer timer;
+    try {
+      fn(id);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+    busy[static_cast<std::size_t>(id)] = timer.seconds();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return busy;
+}
+
 std::vector<double> ThreadPool::parallel_region(const std::function<void(int)>& fn) {
+  // A worker calling back into its own pool would wait forever for itself:
+  // the outer region's remaining_ includes the calling worker, which is
+  // blocked here instead of finishing its leg.  Run the nested region
+  // inline instead of deadlocking.
+  if (on_worker_thread()) return run_inline(fn);
   std::unique_lock<std::mutex> lock(mu_);
   job_ = &fn;
   remaining_ = size();

@@ -33,10 +33,21 @@ class ThreadPool {
   /// Executes fn(worker_id) on all workers, waits for completion, and
   /// returns per-worker CPU busy seconds.  Rethrows the first worker
   /// exception after the region completes.
+  ///
+  /// Re-entrancy: calling this from one of the pool's own worker threads
+  /// (fn starting a nested region) used to deadlock — the outer region's
+  /// completion count could never reach zero while its caller-worker sat
+  /// blocked in the nested wait.  A worker-thread call now runs the region
+  /// inline instead: fn(0..size()-1) sequentially on the calling thread,
+  /// each leg CPU-timed, first exception rethrown at the end.  Same
+  /// contract, serialized execution — the degenerate but correct nesting
+  /// semantics (mirroring OpenMP's default of serializing nested regions).
   std::vector<double> parallel_region(const std::function<void(int)>& fn);
 
  private:
   void worker_loop(int id, bool pin);
+  bool on_worker_thread() const;
+  std::vector<double> run_inline(const std::function<void(int)>& fn);
 
   std::mutex mu_;
   std::condition_variable work_cv_;
@@ -49,6 +60,9 @@ class ThreadPool {
   std::vector<double> busy_seconds_;
   std::vector<std::exception_ptr> errors_;
   std::vector<std::thread> workers_;
+  /// Workers' thread ids, written once in the constructor (before any
+  /// region can run) and read-only afterwards — the re-entrancy check.
+  std::vector<std::thread::id> worker_ids_;
 };
 
 }  // namespace smart

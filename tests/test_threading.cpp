@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -69,6 +70,48 @@ TEST(ThreadPool, PropagatesWorkerException) {
 
 TEST(ThreadPool, RejectsZeroWorkers) {
   EXPECT_THROW(ThreadPool pool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, NestedRegionFromWorkerRunsInline) {
+  // Regression: a worker calling parallel_region on its own pool used to
+  // deadlock — the outer region's completion count includes the calling
+  // worker, which sat blocked in the nested wait forever.  A nested call
+  // now serializes on the caller: every worker id runs, on the worker's
+  // own thread.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> inner_hits(3);
+  std::atomic<int> outer_hits{0};
+  pool.parallel_region([&](int w) {
+    outer_hits.fetch_add(1);
+    if (w == 1) {
+      const auto busy = pool.parallel_region(
+          [&](int inner) { inner_hits[static_cast<std::size_t>(inner)].fetch_add(1); });
+      EXPECT_EQ(busy.size(), 3u);
+    }
+  });
+  EXPECT_EQ(outer_hits.load(), 3);
+  for (auto& h : inner_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedRegionPropagatesExceptionAndOuterSurvives) {
+  ThreadPool pool(2);
+  std::atomic<int> caught{0};
+  pool.parallel_region([&](int w) {
+    if (w == 0) {
+      try {
+        pool.parallel_region([](int inner) {
+          if (inner == 1) throw std::runtime_error("nested failure");
+        });
+      } catch (const std::runtime_error&) {
+        caught.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(caught.load(), 1);
+  // The outer pool stays usable (nested failures never touch its state).
+  std::atomic<int> ok{0};
+  pool.parallel_region([&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 2);
 }
 
 TEST(ThreadPool, PinnedPoolStillWorks) {
@@ -155,6 +198,55 @@ TEST(CircularBuffer, CloseUnblocksWaitingConsumer) {
 
 TEST(CircularBuffer, RejectsZeroCapacity) {
   EXPECT_THROW(CircularBuffer<int> buf(0), std::invalid_argument);
+}
+
+TEST(CircularBuffer, PushThrowsTypedChannelClosed) {
+  CircularBuffer<int> buf(2);
+  buf.close();
+  EXPECT_THROW(buf.push(1), ChannelClosed);
+  // ChannelClosed derives from runtime_error, so legacy catch sites hold.
+  EXPECT_THROW(buf.push(2), std::runtime_error);
+}
+
+TEST(CircularBuffer, OfferReturnsValueWhenBlockedPushIsClosed) {
+  // Regression: a producer blocked on a full buffer whose channel is then
+  // closed used to lose its moved-in value inside a generic runtime_error.
+  // offer() hands the rejected value back instead.
+  CircularBuffer<std::unique_ptr<int>> buf(1);
+  ASSERT_EQ(buf.offer(std::make_unique<int>(1)), std::nullopt);  // now full
+  std::optional<std::unique_ptr<int>> rejected;
+  std::thread producer([&] { rejected = buf.offer(std::make_unique<int>(42)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  buf.close();  // wakes the blocked producer; its value must come back
+  producer.join();
+  ASSERT_TRUE(rejected.has_value());
+  ASSERT_NE(*rejected, nullptr);
+  EXPECT_EQ(**rejected, 42);
+  // The queued value drains normally; then the stream ends.
+  auto v = buf.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 1);
+  EXPECT_FALSE(buf.pop().has_value());
+}
+
+TEST(CircularBuffer, BlockedPushThrowsChannelClosedOnClose) {
+  CircularBuffer<int> buf(1);
+  buf.push(1);  // full
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    try {
+      buf.push(2);
+    } catch (const ChannelClosed&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  buf.close();
+  producer.join();
+  EXPECT_TRUE(threw.load());
+  // The close must not have let the blocked push slip its value in.
+  EXPECT_EQ(buf.pop().value(), 1);
+  EXPECT_FALSE(buf.pop().has_value());
 }
 
 TEST(CircularBuffer, StressProducerConsumer) {
