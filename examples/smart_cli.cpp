@@ -18,6 +18,8 @@
 #include "common/arg_parser.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "obs/attribution.h"
+#include "obs/critpath.h"
 #include "obs/gather.h"
 #include "sim/emulator.h"
 #include "sim/heat3d.h"
@@ -92,7 +94,49 @@ void list_choices() {
   std::cout << " summary topk\nmodes:       time space\n";
 }
 
+/// Writes the attribution outputs for a path result; `out` may be "-" for
+/// stdout.  Shared by the post-run analysis and --critpath-in.
+int emit_critpath(const obs::CritPathResult& path, const std::string& out,
+                  const std::string& json_out) {
+  const obs::AttributionReport report = obs::attribute(path);
+  int rc = 0;
+  if (out == "-") {
+    obs::write_report(std::cout, report);
+  } else if (!out.empty()) {
+    if (obs::write_report_file(out, report)) {
+      std::printf("critical-path report written to %s\n", out.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write critical-path report to %s\n", out.c_str());
+      rc = 1;
+    }
+  }
+  if (!json_out.empty()) {
+    if (obs::write_attribution_json_file(json_out, report)) {
+      std::printf("critical-path attribution written to %s\n", json_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write attribution JSON to %s\n", json_out.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 int run(const ArgParser& args) {
+  const std::string critpath_out = args.has("critpath-out") ? args.get("critpath-out") : "";
+  const std::string critpath_json = args.has("critpath-json") ? args.get("critpath-json") : "";
+  if (args.has("critpath-in")) {
+    // Offline mode: analyze a saved trace instead of running a pipeline.
+    obs::ChromeTrace trace;
+    std::string error;
+    if (!obs::read_chrome_trace_file(args.get("critpath-in"), trace, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    return emit_critpath(obs::extract_critical_path(trace.events, trace.dropped_events),
+                         critpath_out.empty() && critpath_json.empty() ? "-" : critpath_out,
+                         critpath_json);
+  }
+
   const std::string sim_kind = args.get("sim");
   const std::string app_name = args.get("app");
   const int ranks = static_cast<int>(args.get_long("ranks"));
@@ -134,7 +178,9 @@ int run(const ArgParser& args) {
   const std::string trace_out = args.has("trace-out") ? args.get("trace-out") : "";
   const std::string metrics_out = args.has("metrics-out") ? args.get("metrics-out") : "";
   const std::string phase_csv = args.has("phase-csv") ? args.get("phase-csv") : "";
-  if (!trace_out.empty()) obs::TraceCollector::instance().set_enabled(true);
+  if (!trace_out.empty() || !critpath_out.empty() || !critpath_json.empty()) {
+    obs::TraceCollector::instance().set_enabled(true);
+  }
   if (!metrics_out.empty()) obs::set_metrics_enabled(true);
   // One tracer across ranks: it is mutex-protected and assigns dense thread
   // ids, so the CSV shows every rank's phases on one timeline.
@@ -236,6 +282,13 @@ int run(const ArgParser& args) {
         if (ok) {
           std::printf("trace written to %s (%zu rank(s) missing)\n", trace_out.c_str(),
                       missing.size());
+          const std::size_t dropped = obs::TraceCollector::instance().dropped_events();
+          if (dropped > 0) {
+            std::fprintf(stderr,
+                         "warning: trace dropped %zu event(s) (ring full; raise "
+                         "SMART_TRACE_EVENTS)\n",
+                         dropped);
+          }
         } else {
           std::fprintf(stderr, "error: could not write trace to %s\n", trace_out.c_str());
         }
@@ -264,10 +317,19 @@ int run(const ArgParser& args) {
     }
   }
 
+  int rc = 0;
+  if (!critpath_out.empty() || !critpath_json.empty()) {
+    // Ranks are threads of this process, so the global collector already
+    // holds the merged cross-rank trace.
+    obs::TraceCollector& tc = obs::TraceCollector::instance();
+    rc = emit_critpath(obs::extract_critical_path(tc.snapshot_events(), tc.dropped_events()),
+                       critpath_out, critpath_json);
+  }
+
   std::printf("wall %.3f s, virtual makespan %.4f s (%s model), network %s across %d rank(s)\n",
               wall.seconds(), stats.makespan(), net->name(),
               format_bytes(stats.total_bytes_sent()).c_str(), ranks);
-  return 0;
+  return rc;
 }
 
 }  // namespace
@@ -283,6 +345,9 @@ int main(int argc, char** argv) {
       .option("mode", "in-situ mode: time | space", "time")
       .option("render", "write the final plane to this PGM path (summary app)")
       .option("trace-out", "write a Chrome/Perfetto trace of the run to this JSON path")
+      .option("critpath-out", "write the critical-path bottleneck report here ('-' = stdout)")
+      .option("critpath-json", "write the critical-path attribution JSON to this path")
+      .option("critpath-in", "analyze a saved Chrome-trace JSON file instead of running")
       .option("metrics-out", "write the aggregated metrics snapshot to this JSON path")
       .option("phase-csv", "write the scheduler's per-phase timeline to this CSV path")
       .option("net-model", "interconnect cost model: flat | fattree | dragonfly")

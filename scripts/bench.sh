@@ -69,3 +69,16 @@ echo "== bench: run (transport fan-in / bcast copies / buffer pool) =="
 
 python3 -m json.tool "$transport_out" >/dev/null
 echo "== bench: wrote $transport_out =="
+
+echo "== bench: critical-path attribution (4-rank reference run) =="
+# Attach a makespan attribution to the bench record: BENCH_critpath.json
+# says *where* the reference run's virtual time went (per category / rank /
+# phase), so when scripts/bench_gate.py flags a regression it can point at
+# the bucket that grew instead of just the ratio that moved.
+critpath_out="$(dirname "$out")/BENCH_critpath.json"
+cmake --build "$repo/build" -j "$jobs" --target smart_cli
+"$repo/build/examples/smart_cli" --sim heat3d --app histogram --ranks 4 \
+  --threads 2 --steps 3 --critpath-json "$critpath_out" >/dev/null
+python3 "$repo/scripts/validate_critpath.py" \
+  "$repo/scripts/critpath_schema.json" "$critpath_out"
+echo "== bench: wrote $critpath_out =="

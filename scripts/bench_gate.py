@@ -10,11 +10,18 @@ than the slack factor against the committed BENCH_transport.json means the
 "after" side genuinely slowed down relative to its own baseline.
 
 Usage: bench_gate.py <committed.json> <fresh.json> [slack]
+           [--critpath <fresh_attr.json>] [--critpath-committed <attr.json>]
 
 Exits nonzero when any pair regresses past the slack (default 1.25: a
 fresh ratio more than 25% worse than the committed one fails).  Pairs
 missing from either file are reported and skipped, not failed, so the gate
 tolerates filter changes and freshly added benches.
+
+With --critpath (a critical-path attribution JSON from smart_cli
+--critpath-json, e.g. BENCH_critpath.json) the gate also reports where the
+reference run's makespan went; adding --critpath-committed compares the two
+attributions per category so a flagged regression comes with the bucket
+that grew (compute vs network vs send-stall vs ...), not just a ratio.
 """
 
 import json
@@ -49,13 +56,68 @@ def load_times(path):
     return times
 
 
+def report_critpath(fresh_path, committed_path):
+    """Attribution summary: top categories, bottleneck rank, and (with a
+    committed attribution to compare against) the bucket that grew most."""
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    total = fresh["path_length_us"]
+    cats = sorted(fresh["by_category"].items(), key=lambda kv: kv[1], reverse=True)
+    top = ", ".join(
+        f"{name} {us / total * 100.0:.1f}%" for name, us in cats[:3] if us > 0.0
+    )
+    bottleneck = fresh["by_rank"][0]["rank"] if fresh["by_rank"] else "?"
+    print(
+        f"   critpath: makespan {fresh['makespan_us'] / 1e3:.2f} ms, "
+        f"bottleneck rank {bottleneck}, top: {top}"
+    )
+    if committed_path is None:
+        return
+    with open(committed_path) as f:
+        committed = json.load(f)
+    # Compare category *shares* (fractions of the path), which hold across
+    # hosts the way the pair ratios do; absolute microseconds do not.
+    committed_total = committed["path_length_us"]
+    deltas = []
+    for name, us in fresh["by_category"].items():
+        before = committed["by_category"].get(name, 0.0) / max(committed_total, 1e-9)
+        after = us / max(total, 1e-9)
+        deltas.append((after - before, name, before, after))
+    deltas.sort(reverse=True)
+    grew, name, before, after = deltas[0]
+    if grew > 0.02:
+        print(
+            f"   critpath: '{name}' grew {before * 100.0:.1f}% -> {after * 100.0:.1f}% "
+            f"of the path vs committed — a regression likely landed there"
+        )
+    else:
+        print("   critpath: category shares within 2% of the committed attribution")
+
+
 def main(argv):
-    if len(argv) not in (3, 4):
+    args = list(argv[1:])
+    critpath = critpath_committed = None
+    for flag in ("--critpath", "--critpath-committed"):
+        if flag in args:
+            i = args.index(flag)
+            if i + 1 >= len(args):
+                print(f"{flag} needs a path", file=sys.stderr)
+                return 2
+            value = args.pop(i + 1)
+            args.pop(i)
+            if flag == "--critpath":
+                critpath = value
+            else:
+                critpath_committed = value
+    if len(args) not in (2, 3):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    committed = load_times(argv[1])
-    fresh = load_times(argv[2])
-    slack = float(argv[3]) if len(argv) == 4 else 1.25
+    committed = load_times(args[0])
+    fresh = load_times(args[1])
+    slack = float(args[2]) if len(args) == 3 else 1.25
+
+    if critpath is not None:
+        report_critpath(critpath, critpath_committed)
 
     failures = []
     checked = 0

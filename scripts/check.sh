@@ -104,6 +104,29 @@ print(f"   trace8 ok: {len(events)} events, {len(starts & ends)} matched "
       f"{sorted(bcast_ranks)}")
 EOF
 
+echo "== tier-1: critical-path profiler validation =="
+# A 4-rank traced job must flow through the critpath tool end to end: the
+# text report parses, the attribution JSON validates against the checked-in
+# schema (including the categories-sum-to-path-length invariant;
+# scripts/validate_critpath.py), and the offline --critpath-in mode accepts
+# the Chrome trace the same run exported.
+critpath_report="$repo/build/check_critpath.txt"
+critpath_json="$repo/build/check_critpath.json"
+critpath_trace="$repo/build/check_critpath_trace.json"
+"$repo/build/examples/smart_cli" --sim heat3d --app histogram --ranks 4 \
+  --threads 2 --steps 3 --critpath-out "$critpath_report" \
+  --critpath-json "$critpath_json" --trace-out "$critpath_trace" >/dev/null
+grep -q '^critical-path report$' "$critpath_report" \
+  || { echo "critpath report missing its header" >&2; exit 1; }
+grep -q 'makespan:' "$critpath_report" \
+  || { echo "critpath report missing the makespan line" >&2; exit 1; }
+python3 "$repo/scripts/validate_critpath.py" \
+  "$repo/scripts/critpath_schema.json" "$critpath_json"
+"$repo/build/examples/smart_cli" --critpath-in "$critpath_trace" \
+  | grep -q '^critical-path report$' \
+  || { echo "offline --critpath-in analysis failed" >&2; exit 1; }
+echo "   critpath ok"
+
 echo "== tier-1: bench smoke =="
 # The microbenches must run and emit parseable JSON (scripts/bench.sh is the
 # full sweep; this is just a liveness check on fast filters).
@@ -133,7 +156,16 @@ if [[ -f "$repo/BENCH_transport.json" ]]; then
     --benchmark_filter='AnySourceFanIn|ExactSourceRecv|Bcast1MiB8Ranks|BufferPerMessage' \
     --benchmark_min_time=0.05 \
     --benchmark_out="$bench_gate_json" --benchmark_out_format=json >/dev/null
-  python3 "$repo/scripts/bench_gate.py" "$repo/BENCH_transport.json" "$bench_gate_json"
+  # With a committed attribution on record, the gate also localizes any
+  # regression: the fresh run's critpath JSON (from the validation step
+  # above) is compared per category against BENCH_critpath.json.
+  gate_critpath_args=()
+  if [[ -f "$repo/BENCH_critpath.json" ]]; then
+    gate_critpath_args=(--critpath "$critpath_json" \
+                        --critpath-committed "$repo/BENCH_critpath.json")
+  fi
+  python3 "$repo/scripts/bench_gate.py" "$repo/BENCH_transport.json" \
+    "$bench_gate_json" "${gate_critpath_args[@]}"
 else
   echo "   no committed BENCH_transport.json; gate skipped"
 fi

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a critical-path attribution JSON against the checked-in schema.
+
+Usage: validate_critpath.py <schema.json> <attribution.json>
+
+Two layers of validation:
+
+  1. structural — the document matches scripts/critpath_schema.json.  The
+     container has no jsonschema module, so this is a hand-rolled walker
+     covering exactly the subset the schema uses: type, required,
+     properties, additionalProperties, items, minimum.
+  2. semantic — the profiler's tiling invariant: by_category sums to
+     path_length_us (within epsilon), per-rank totals do too, each rank's
+     own breakdown sums to its total, and by_rank is sorted descending
+     (bottleneck first).
+
+Exits nonzero with a pointered message on the first violation.
+"""
+
+import json
+import sys
+
+
+def check(schema, doc, path):
+    t = schema.get("type")
+    if t == "object":
+        if not isinstance(doc, dict):
+            raise ValueError(f"{path}: expected object, got {type(doc).__name__}")
+        for key in schema.get("required", []):
+            if key not in doc:
+                raise ValueError(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, value in doc.items():
+            if key in props:
+                check(props[key], value, f"{path}.{key}")
+            elif isinstance(extra, dict):
+                check(extra, value, f"{path}.{key}")
+    elif t == "array":
+        if not isinstance(doc, list):
+            raise ValueError(f"{path}: expected array, got {type(doc).__name__}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(doc):
+                check(items, value, f"{path}[{i}]")
+    elif t == "number":
+        if not isinstance(doc, (int, float)) or isinstance(doc, bool):
+            raise ValueError(f"{path}: expected number, got {type(doc).__name__}")
+    elif t == "integer":
+        if not isinstance(doc, int) or isinstance(doc, bool):
+            raise ValueError(f"{path}: expected integer, got {type(doc).__name__}")
+    elif t == "string":
+        if not isinstance(doc, str):
+            raise ValueError(f"{path}: expected string, got {type(doc).__name__}")
+    if "minimum" in schema and isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        if doc < schema["minimum"]:
+            raise ValueError(f"{path}: {doc} below minimum {schema['minimum']}")
+
+
+def check_semantics(doc):
+    path_len = doc["path_length_us"]
+    eps = max(1.0, 1e-4 * path_len)
+
+    cat_sum = sum(doc["by_category"].values())
+    if abs(cat_sum - path_len) > eps:
+        raise ValueError(
+            f"by_category sums to {cat_sum:.3f} but path_length_us is {path_len:.3f}"
+        )
+    if abs(doc["makespan_us"] - path_len) > eps:
+        raise ValueError(
+            f"path_length_us {path_len:.3f} != makespan_us {doc['makespan_us']:.3f}"
+        )
+
+    rank_sum = sum(r["total_us"] for r in doc["by_rank"])
+    if abs(rank_sum - path_len) > eps:
+        raise ValueError(
+            f"by_rank totals sum to {rank_sum:.3f} but path_length_us is {path_len:.3f}"
+        )
+    for r in doc["by_rank"]:
+        row_sum = sum(r["by_category"].values())
+        if abs(row_sum - r["total_us"]) > eps:
+            raise ValueError(
+                f"rank {r['rank']} breakdown sums to {row_sum:.3f}, total is "
+                f"{r['total_us']:.3f}"
+            )
+    totals = [r["total_us"] for r in doc["by_rank"]]
+    if totals != sorted(totals, reverse=True):
+        raise ValueError("by_rank is not sorted descending (bottleneck first)")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    with open(argv[2]) as f:
+        doc = json.load(f)
+    try:
+        check(schema, doc, "$")
+        check_semantics(doc)
+    except ValueError as e:
+        print(f"validate_critpath: {argv[2]}: {e}", file=sys.stderr)
+        return 1
+    top = max(doc["by_category"].items(), key=lambda kv: kv[1])
+    bottleneck = doc["by_rank"][0]["rank"] if doc["by_rank"] else "?"
+    print(
+        f"   critpath json ok: path {doc['path_length_us']:.1f} us, top category "
+        f"{top[0]} ({top[1]:.1f} us), bottleneck rank {bottleneck}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

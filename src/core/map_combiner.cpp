@@ -34,19 +34,22 @@ MapCombineStats MapCombiner::allreduce(simmpi::Communicator& comm, CombinationMa
   MapCombineStats stats;
   if (comm.size() <= 1) return stats;
   const std::size_t sent_before = comm.bytes_sent();
+  // Combination-round stamp: the critical-path profiler rolls attributed
+  // time up per round, so every combine.* span names the round it served.
+  const std::int64_t round = combine_round_++;
   if (peer_timeout_seconds > 0.0) {
     // Fault-tolerant round over the full rank set.  Always the tree: the
     // ring needs every rank alive and the auto decision's first-round
     // consensus is an unbounded collective — neither survives a dead peer.
-    obs::TraceSpan span("combine.ft_tree", "sched");
+    obs::TraceSpan span("combine.ft_tree", "sched", {{"round", round}});
     std::vector<int> all(static_cast<std::size_t>(comm.size()));
     for (int r = 0; r < comm.size(); ++r) all[static_cast<std::size_t>(r)] = r;
     ft_tree_allreduce(comm, all, map, merge, peer_timeout_seconds, stats);
   } else if (choose_ring(comm, map)) {
-    obs::TraceSpan span("combine.ring", "sched");
+    obs::TraceSpan span("combine.ring", "sched", {{"round", round}});
     ring_allreduce(comm, map, merge, stats);
   } else {
-    obs::TraceSpan span("combine.tree", "sched");
+    obs::TraceSpan span("combine.tree", "sched", {{"round", round}});
     tree_allreduce(comm, map, merge, stats);
   }
   stats.wire_bytes = comm.bytes_sent() - sent_before;
@@ -66,7 +69,8 @@ MapCombineStats MapCombiner::allreduce_surviving(simmpi::Communicator& comm,
   if (alive.size() <= 1) return stats;
   const std::size_t sent_before = comm.bytes_sent();
   obs::TraceSpan span("combine.ft_tree", "sched",
-                      {{"survivors", static_cast<std::int64_t>(alive.size())}});
+                      {{"survivors", static_cast<std::int64_t>(alive.size())},
+                       {"round", combine_round_++}});
   ft_tree_allreduce(comm, alive, map, merge, peer_timeout_seconds, stats);
   stats.wire_bytes = comm.bytes_sent() - sent_before;
   agreed_footprint_ = map_footprint_bytes(map);
@@ -101,15 +105,23 @@ void MapCombiner::ft_tree_allreduce(simmpi::Communicator& comm, const std::vecto
       if (me + dist < m) {
         Buffer child = comm.recv_timeout(peer(me + dist), payload_tag, timeout_seconds);
         ThreadCpuTimer codec;
-        Reader r(child);
-        stats.map_merges += absorb_serialized_map(r, map, merge);
+        {
+          obs::TraceSpan cspan("codec.decode", "codec",
+                               {{"bytes", static_cast<std::int64_t>(child.size())}});
+          Reader r(child);
+          stats.map_merges += absorb_serialized_map(r, map, merge);
+        }
         stats.codec_seconds += codec.seconds();
         BufferPool::release(std::move(child));
       }
     } else {
       ThreadCpuTimer codec;
       prepare_wire();
-      serialize_map(map, wire_);
+      {
+        obs::TraceSpan cspan("codec.encode", "codec");
+        serialize_map(map, wire_);
+        cspan.arg("bytes", static_cast<std::int64_t>(wire_.size()));
+      }
       stats.codec_seconds += codec.seconds();
       ++stats.map_serializes;
       stats.bytes_encoded += wire_.size();
@@ -127,7 +139,11 @@ void MapCombiner::ft_tree_allreduce(simmpi::Communicator& comm, const std::vecto
   if (me == 0) {
     ThreadCpuTimer codec;
     prepare_wire();
-    serialize_map(map, wire_);
+    {
+      obs::TraceSpan cspan("codec.encode", "codec");
+      serialize_map(map, wire_);
+      cspan.arg("bytes", static_cast<std::int64_t>(wire_.size()));
+    }
     stats.codec_seconds += codec.seconds();
     ++stats.map_serializes;
     stats.bytes_encoded += wire_.size();
@@ -138,7 +154,11 @@ void MapCombiner::ft_tree_allreduce(simmpi::Communicator& comm, const std::vecto
     const SharedBuffer global =
         comm.recv_shared_timeout(peer(0), result_tag, timeout_seconds);
     ThreadCpuTimer codec;
-    map = deserialize_map(*global);
+    {
+      obs::TraceSpan cspan("codec.decode", "codec",
+                           {{"bytes", static_cast<std::int64_t>(global->size())}});
+      map = deserialize_map(*global);
+    }
     stats.codec_seconds += codec.seconds();
     ++stats.map_deserializes;
   }
@@ -177,15 +197,23 @@ void MapCombiner::tree_allreduce(simmpi::Communicator& comm, CombinationMap& map
       if (rank + dist < n) {
         Buffer child = comm.recv(rank + dist, kTreeTag);
         ThreadCpuTimer codec;
-        Reader r(child);
-        stats.map_merges += absorb_serialized_map(r, map, merge);
+        {
+          obs::TraceSpan cspan("codec.decode", "codec",
+                               {{"bytes", static_cast<std::int64_t>(child.size())}});
+          Reader r(child);
+          stats.map_merges += absorb_serialized_map(r, map, merge);
+        }
         stats.codec_seconds += codec.seconds();
         BufferPool::release(std::move(child));
       }
     } else {
       ThreadCpuTimer codec;
       prepare_wire();
-      serialize_map(map, wire_);
+      {
+        obs::TraceSpan cspan("codec.encode", "codec");
+        serialize_map(map, wire_);
+        cspan.arg("bytes", static_cast<std::int64_t>(wire_.size()));
+      }
       stats.codec_seconds += codec.seconds();
       ++stats.map_serializes;
       stats.bytes_encoded += wire_.size();
@@ -203,7 +231,11 @@ void MapCombiner::tree_allreduce(simmpi::Communicator& comm, CombinationMap& map
   if (rank == 0) {
     ThreadCpuTimer codec;
     prepare_wire();
-    serialize_map(map, wire_);
+    {
+      obs::TraceSpan cspan("codec.encode", "codec");
+      serialize_map(map, wire_);
+      cspan.arg("bytes", static_cast<std::int64_t>(wire_.size()));
+    }
     stats.codec_seconds += codec.seconds();
     ++stats.map_serializes;
     stats.bytes_encoded += wire_.size();
@@ -214,7 +246,11 @@ void MapCombiner::tree_allreduce(simmpi::Communicator& comm, CombinationMap& map
     SharedBuffer global;
     comm.bcast_shared(global, 0);
     ThreadCpuTimer codec;
-    map = deserialize_map(*global);
+    {
+      obs::TraceSpan cspan("codec.decode", "codec",
+                           {{"bytes", static_cast<std::int64_t>(global->size())}});
+      map = deserialize_map(*global);
+    }
     stats.codec_seconds += codec.seconds();
     ++stats.map_deserializes;
   }
@@ -246,15 +282,23 @@ void MapCombiner::ring_allreduce(simmpi::Communicator& comm, CombinationMap& map
   for (int step = 0; step < n - 1; ++step) {
     ThreadCpuTimer encode;
     prepare_wire();
-    seg_index_.serialize_segment(map, mod(rank - step), wire_);
+    {
+      obs::TraceSpan cspan("codec.encode", "codec");
+      seg_index_.serialize_segment(map, mod(rank - step), wire_);
+      cspan.arg("bytes", static_cast<std::int64_t>(wire_.size()));
+    }
     stats.codec_seconds += encode.seconds();
     stats.bytes_encoded += wire_.size();
     if (wire_.size() > wire_hint_) wire_hint_ = wire_.size();
     comm.send(right, kRingReduceTag - step, std::move(wire_));
     Buffer incoming = comm.recv(left, kRingReduceTag - step);
     ThreadCpuTimer decode;
-    Reader r(incoming);
-    stats.map_merges += seg_index_.absorb_segment(r, map, merge, mod(rank - step - 1));
+    {
+      obs::TraceSpan cspan("codec.decode", "codec",
+                           {{"bytes", static_cast<std::int64_t>(incoming.size())}});
+      Reader r(incoming);
+      stats.map_merges += seg_index_.absorb_segment(r, map, merge, mod(rank - step - 1));
+    }
     stats.codec_seconds += decode.seconds();
     BufferPool::release(std::move(incoming));
   }
@@ -267,15 +311,23 @@ void MapCombiner::ring_allreduce(simmpi::Communicator& comm, CombinationMap& map
   // segment index stale) is fine.
   ThreadCpuTimer encode;
   Buffer circulating = BufferPool::acquire(wire_hint_ / static_cast<std::size_t>(n));
-  seg_index_.serialize_segment(map, mod(rank + 1), circulating);
+  {
+    obs::TraceSpan cspan("codec.encode", "codec");
+    seg_index_.serialize_segment(map, mod(rank + 1), circulating);
+    cspan.arg("bytes", static_cast<std::int64_t>(circulating.size()));
+  }
   stats.codec_seconds += encode.seconds();
   stats.bytes_encoded += circulating.size();
   for (int step = 0; step < n - 1; ++step) {
     comm.send(right, kRingGatherTag - step, std::move(circulating));
     Buffer incoming = comm.recv(left, kRingGatherTag - step);
     ThreadCpuTimer decode;
-    Reader r(incoming);
-    stats.map_merges += absorb_serialized_map(r, map, merge, /*replace_existing=*/true);
+    {
+      obs::TraceSpan cspan("codec.decode", "codec",
+                           {{"bytes", static_cast<std::int64_t>(incoming.size())}});
+      Reader r(incoming);
+      stats.map_merges += absorb_serialized_map(r, map, merge, /*replace_existing=*/true);
+    }
     stats.codec_seconds += decode.seconds();
     circulating = std::move(incoming);
   }

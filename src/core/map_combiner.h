@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/serialize.h"
 #include "core/red_obj.h"
@@ -132,6 +133,7 @@ class MapCombiner {
   std::size_t agreed_footprint_ = 0;  ///< global map footprint after the last round
   bool have_agreed_footprint_ = false;
   int ft_round_ = 0;  ///< fault-tolerant round counter (tag namespace; see begin_recovery_round)
+  std::int64_t combine_round_ = 0;  ///< lifetime allreduce count, stamped on combine.* spans
 };
 
 }  // namespace smart

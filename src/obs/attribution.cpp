@@ -1,0 +1,212 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace smart::obs {
+
+namespace {
+
+void write_us(std::ostream& os, double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  os << buf;
+}
+
+void write_pct(std::ostream& os, double part, double whole) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%", whole > 0.0 ? 100.0 * part / whole : 0.0);
+  os << buf;
+}
+
+}  // namespace
+
+AttributionReport attribute(const CritPathResult& path) {
+  AttributionReport report;
+  report.makespan_us = path.makespan_us;
+  report.path_length_us = path.path_length_us();
+  report.makespan_rank = path.makespan_rank;
+  report.dropped_events = path.dropped_events;
+  report.warnings = path.warnings;
+
+  std::map<int, RankAttribution> ranks;
+  std::map<std::string, double> phases;
+  std::map<std::int64_t, double> rounds;
+  for (const CritSegment& s : path.segments) {
+    const double d = s.duration_us();
+    if (d <= 0.0) continue;
+    const auto cat = static_cast<std::size_t>(s.category);
+    report.by_category[cat] += d;
+    RankAttribution& row = ranks[s.rank];
+    row.rank = s.rank;
+    row.total_us += d;
+    row.by_category[cat] += d;
+    phases[s.phase] += d;
+    if (s.round >= 0) rounds[s.round] += d;
+  }
+
+  for (auto& [rank, row] : ranks) report.by_rank.push_back(row);
+  std::sort(report.by_rank.begin(), report.by_rank.end(),
+            [](const RankAttribution& a, const RankAttribution& b) {
+              return a.total_us != b.total_us ? a.total_us > b.total_us : a.rank < b.rank;
+            });
+  for (auto& [name, us] : phases) report.by_phase.emplace_back(name, us);
+  std::sort(report.by_phase.begin(), report.by_phase.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (auto& [round, us] : rounds) report.by_round.emplace_back(round, us);
+  std::sort(report.by_round.begin(), report.by_round.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return report;
+}
+
+void write_report(std::ostream& os, const AttributionReport& report) {
+  os << "critical-path report\n";
+  os << "  makespan: ";
+  write_us(os, report.makespan_us);
+  os << " us (rank " << report.makespan_rank << " finishes last)\n";
+  os << "  path length: ";
+  write_us(os, report.path_length_us);
+  os << " us across " << report.by_rank.size() << " rank(s)\n";
+
+  os << "\nwhere the critical path went:\n";
+  // Category rows sorted descending so the biggest bucket leads.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < kNumCritCategories; ++i) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return report.by_category[a] > report.by_category[b];
+  });
+  for (const std::size_t i : order) {
+    if (report.by_category[i] <= 0.0) continue;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%-12s", to_string(static_cast<CritCategory>(i)));
+    os << "  " << label << ' ';
+    write_pct(os, report.by_category[i], report.path_length_us);
+    os << "  ";
+    write_us(os, report.by_category[i]);
+    os << " us\n";
+  }
+
+  os << "\nper-rank footprint (bottleneck first):\n";
+  for (const RankAttribution& row : report.by_rank) {
+    os << "  rank " << row.rank << ": ";
+    write_pct(os, row.total_us, report.path_length_us);
+    os << "  ";
+    write_us(os, row.total_us);
+    os << " us";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumCritCategories; ++i) {
+      if (row.by_category[i] <= 0.0) continue;
+      os << (first ? "  (" : ", ") << to_string(static_cast<CritCategory>(i)) << ' ';
+      write_us(os, row.by_category[i]);
+      first = false;
+    }
+    if (!first) os << ')';
+    os << '\n';
+  }
+
+  if (!report.by_phase.empty()) {
+    os << "\nby scheduler phase:\n";
+    for (const auto& [name, us] : report.by_phase) {
+      os << "  " << (name.empty() ? "(outside phases)" : name.c_str()) << ": ";
+      write_pct(os, us, report.path_length_us);
+      os << "  ";
+      write_us(os, us);
+      os << " us\n";
+    }
+  }
+  if (!report.by_round.empty()) {
+    os << "\nby combination round:\n";
+    for (const auto& [round, us] : report.by_round) {
+      os << "  round " << round << ": ";
+      write_us(os, us);
+      os << " us\n";
+    }
+  }
+
+  if (report.dropped_events > 0) {
+    os << "\nnote: " << report.dropped_events << " trace event(s) dropped at capture\n";
+  }
+  if (!report.warnings.empty()) {
+    os << "\nwarnings:\n";
+    for (const std::string& w : report.warnings) os << "  - " << w << '\n';
+  }
+}
+
+bool write_report_file(const std::string& path, const AttributionReport& report) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_report(os, report);
+  return os.good();
+}
+
+void write_attribution_json(std::ostream& os, const AttributionReport& report) {
+  os << "{\n  \"makespan_us\": ";
+  write_us(os, report.makespan_us);
+  os << ",\n  \"path_length_us\": ";
+  write_us(os, report.path_length_us);
+  os << ",\n  \"makespan_rank\": " << report.makespan_rank;
+  os << ",\n  \"dropped_events\": " << report.dropped_events;
+
+  os << ",\n  \"by_category\": {";
+  for (std::size_t i = 0; i < kNumCritCategories; ++i) {
+    if (i > 0) os << ',';
+    os << "\n    \"" << to_string(static_cast<CritCategory>(i)) << "\": ";
+    write_us(os, report.by_category[i]);
+  }
+  os << "\n  }";
+
+  os << ",\n  \"by_rank\": [";
+  for (std::size_t r = 0; r < report.by_rank.size(); ++r) {
+    const RankAttribution& row = report.by_rank[r];
+    if (r > 0) os << ',';
+    os << "\n    {\"rank\": " << row.rank << ", \"total_us\": ";
+    write_us(os, row.total_us);
+    os << ", \"by_category\": {";
+    for (std::size_t i = 0; i < kNumCritCategories; ++i) {
+      if (i > 0) os << ", ";
+      os << '"' << to_string(static_cast<CritCategory>(i)) << "\": ";
+      write_us(os, row.by_category[i]);
+    }
+    os << "}}";
+  }
+  os << "\n  ]";
+
+  os << ",\n  \"by_phase\": {";
+  for (std::size_t i = 0; i < report.by_phase.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "\n    ";
+    write_json_string(os, report.by_phase[i].first);
+    os << ": ";
+    write_us(os, report.by_phase[i].second);
+  }
+  os << "\n  }";
+
+  os << ",\n  \"by_round\": {";
+  for (std::size_t i = 0; i < report.by_round.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "\n    \"" << report.by_round[i].first << "\": ";
+    write_us(os, report.by_round[i].second);
+  }
+  os << "\n  }";
+
+  os << ",\n  \"warnings\": [";
+  for (std::size_t i = 0; i < report.warnings.size(); ++i) {
+    if (i > 0) os << ", ";
+    write_json_string(os, report.warnings[i]);
+  }
+  os << "]\n}\n";
+}
+
+bool write_attribution_json_file(const std::string& path, const AttributionReport& report) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_attribution_json(os, report);
+  return os.good();
+}
+
+}  // namespace smart::obs

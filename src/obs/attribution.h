@@ -1,0 +1,52 @@
+// Attribution rollups over an extracted critical path (obs/critpath.h):
+// every critical-path microsecond bucketed by category, by rank, by
+// scheduler phase, and by combination round, plus the human-readable
+// bottleneck report (`smart_cli --critpath-out`, SMART_CRITPATH) and the
+// machine-readable JSON scripts/bench.sh attaches to BENCH entries
+// (schema: scripts/critpath_schema.json).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/critpath.h"
+
+namespace smart::obs {
+
+/// Per-rank critical-path footprint with a per-category breakdown.
+struct RankAttribution {
+  int rank = -1;
+  double total_us = 0.0;
+  std::array<double, kNumCritCategories> by_category{};
+};
+
+struct AttributionReport {
+  double makespan_us = 0.0;
+  double path_length_us = 0.0;  ///< equals makespan_us up to rounding
+  int makespan_rank = -1;
+  std::array<double, kNumCritCategories> by_category{};
+  std::vector<RankAttribution> by_rank;  ///< descending total_us (bottleneck first)
+  std::vector<std::pair<std::string, double>> by_phase;  ///< descending; "" = unattributed
+  std::vector<std::pair<std::int64_t, double>> by_round;  ///< combination rounds, descending
+  std::size_t dropped_events = 0;
+  std::vector<std::string> warnings;
+};
+
+/// Rolls the path's segments up into the report buckets.  Network segments
+/// bill the sending rank (it owns the link the path crossed).
+AttributionReport attribute(const CritPathResult& path);
+
+/// Human-readable bottleneck report: makespan, category table, per-rank
+/// ranking with breakdowns, top phases/rounds, warnings.
+void write_report(std::ostream& os, const AttributionReport& report);
+bool write_report_file(const std::string& path, const AttributionReport& report);
+
+/// Machine-readable form (scripts/critpath_schema.json).
+void write_attribution_json(std::ostream& os, const AttributionReport& report);
+bool write_attribution_json_file(const std::string& path, const AttributionReport& report);
+
+}  // namespace smart::obs

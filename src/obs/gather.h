@@ -62,7 +62,9 @@ inline bool gather_trace_to_rank0(simmpi::Communicator& comm, const std::string&
   }
   std::stable_sort(merged.begin(), merged.end(),
                    [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
-  return write_chrome_trace_file(path, merged);
+  // Ranks are threads of this process, so the process-global drop counter
+  // covers every lane that fed the merge.
+  return write_chrome_trace_file(path, merged, tc.dropped_events());
 }
 
 /// Collective: merges per-rank registry snapshots onto rank 0 (counters and

@@ -79,6 +79,27 @@ void MetricsRegistry::reset() {
   histograms_.clear();
 }
 
+double MetricsSnapshot::Histogram::percentile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket <= 0.0 || cum + in_bucket < target) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) break;  // overflow bucket: clamp below
+    const double lo = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+    const double hi = bounds[i];
+    return lo + (hi - lo) * ((target - cum) / in_bucket);
+  }
+  // Overflow (or rounding past the end): the last finite boundary is the
+  // tightest honest answer.
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, v] : other.counters) counters[name] += v;
   for (const auto& [name, v] : other.gauges) {
@@ -150,7 +171,13 @@ void MetricsSnapshot::dump_json(std::ostream& os) const {
     }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", h.sum);
-    os << "], \"count\": " << h.count << ", \"sum\": " << buf << "}";
+    os << "], \"count\": " << h.count << ", \"sum\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.6g", h.percentile(0.50));
+    os << ", \"p50\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.6g", h.percentile(0.90));
+    os << ", \"p90\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.6g", h.percentile(0.99));
+    os << ", \"p99\": " << buf << "}";
   }
   os << (histograms.empty() ? "}\n" : "\n  }\n");
   os << "}\n";
@@ -171,7 +198,8 @@ void MetricsSnapshot::dump_text(std::ostream& os) const {
   }
   for (const Histogram& h : histograms) {
     os << "  hist    " << std::left << std::setw(32) << h.name << " count=" << h.count
-       << " sum=" << h.sum << " buckets=[";
+       << " sum=" << h.sum << " p50=" << h.percentile(0.50) << " p90=" << h.percentile(0.90)
+       << " p99=" << h.percentile(0.99) << " buckets=[";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       if (i > 0) os << ' ';
       os << h.buckets[i];

@@ -105,6 +105,12 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> buckets;  ///< bounds.size()+1
     std::uint64_t count = 0;
     double sum = 0.0;
+
+    /// Estimated q-quantile (q in [0,1]) by linear interpolation inside
+    /// the covering bucket (lower edge 0 for the first bucket).  Samples
+    /// in the overflow bucket clamp to the last finite bound — a p99
+    /// beyond the bounds can only be reported as ">= last bound".
+    double percentile(double q) const;
   };
 
   std::map<std::string, std::int64_t> counters;

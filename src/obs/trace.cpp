@@ -1,10 +1,13 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "common/env.h"
+#include "obs/attribution.h"
+#include "obs/critpath.h"
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
 
@@ -26,10 +29,37 @@ std::string& metrics_env_path() {
   static std::string path;
   return path;
 }
+std::string& critpath_env_path() {
+  static std::string path;
+  return path;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
 
 void dump_at_exit() {
+  TraceCollector& tc = TraceCollector::instance();
+  const std::size_t dropped = tc.dropped_events();
   if (!trace_env_path().empty()) {
-    write_chrome_trace_file(trace_env_path(), TraceCollector::instance().snapshot_events());
+    write_chrome_trace_file(trace_env_path(), tc.snapshot_events(), dropped);
+    if (dropped > 0) {
+      std::fprintf(stderr,
+                   "smart: trace dropped %zu event(s) (ring full; raise SMART_TRACE_EVENTS)\n",
+                   dropped);
+    }
+  }
+  if (!critpath_env_path().empty()) {
+    const AttributionReport report =
+        attribute(extract_critical_path(tc.snapshot_events(), dropped));
+    // A .json destination gets the machine-readable form; anything else
+    // (including "-"-less plain paths) the human-readable report.
+    if (ends_with(critpath_env_path(), ".json")) {
+      write_attribution_json_file(critpath_env_path(), report);
+    } else {
+      write_report_file(critpath_env_path(), report);
+    }
   }
   if (!metrics_env_path().empty()) {
     std::ofstream os(metrics_env_path());
@@ -38,13 +68,20 @@ void dump_at_exit() {
 }
 
 // Zero-code-change enablement: any binary that links the runtime (simmpi
-// pulls this translation unit in via g_trace_on) honors SMART_TRACE=<path>
-// and SMART_METRICS=<path> — enable at startup, dump at exit.
+// pulls this translation unit in via g_trace_on) honors SMART_TRACE=<path>,
+// SMART_CRITPATH=<path> and SMART_METRICS=<path> — enable at startup, dump
+// at exit (SMART_CRITPATH analyzes the trace it armed and writes the
+// bottleneck report: .json suffix → attribution JSON, else text).
 struct EnvInit {
   EnvInit() {
     bool armed = false;
     if (const char* p = std::getenv("SMART_TRACE"); p != nullptr && *p != '\0') {
       trace_env_path() = p;
+      TraceCollector::instance().set_enabled(true);
+      armed = true;
+    }
+    if (const char* p = std::getenv("SMART_CRITPATH"); p != nullptr && *p != '\0') {
+      critpath_env_path() = p;
       TraceCollector::instance().set_enabled(true);
       armed = true;
     }
@@ -120,7 +157,7 @@ void TraceCollector::record(TraceEvent::Type type, std::string_view name, std::s
   r.name = buf.intern_string(name);
   r.cat = buf.intern_string(cat);
   for (const TraceArg& a : args) {
-    if (r.num_args >= 2) break;
+    if (r.num_args >= kMaxTraceArgs) break;
     r.arg_key[r.num_args] = buf.intern_string(a.key);
     r.arg_val[r.num_args] = a.value;
     ++r.num_args;

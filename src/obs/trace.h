@@ -58,6 +58,11 @@ struct TraceArg {
   std::int64_t value;
 };
 
+/// Per-event named-arg capacity.  Four slots let transport spans carry both
+/// their identity args (tag, bytes) and the virtual-clock stamps the
+/// critical-path profiler reconstructs the causal DAG from (obs/critpath.h).
+constexpr std::uint8_t kMaxTraceArgs = 4;
+
 /// Export/gather form of one recorded event (internal storage is interned;
 /// see TraceCollector::snapshot_events).
 struct TraceEvent {
@@ -71,9 +76,9 @@ struct TraceEvent {
   std::uint64_t flow_id = 0;   ///< flow events only (nonzero)
   std::string name;
   std::string cat;
-  std::uint8_t num_args = 0;   ///< 0..2 named integer args
-  std::string arg_key[2];
-  std::int64_t arg_val[2] = {0, 0};
+  std::uint8_t num_args = 0;   ///< 0..kMaxTraceArgs named integer args
+  std::string arg_key[kMaxTraceArgs];
+  std::int64_t arg_val[kMaxTraceArgs] = {0, 0, 0, 0};
 };
 
 class TraceCollector {
@@ -138,10 +143,10 @@ class TraceCollector {
     double ts_us = 0.0;
     double dur_us = 0.0;
     std::uint64_t flow_id = 0;
-    std::int64_t arg_val[2] = {0, 0};
+    std::int64_t arg_val[kMaxTraceArgs] = {0, 0, 0, 0};
     std::uint32_t name = kNoString;
     std::uint32_t cat = kNoString;
-    std::uint32_t arg_key[2] = {kNoString, kNoString};
+    std::uint32_t arg_key[kMaxTraceArgs] = {kNoString, kNoString, kNoString, kNoString};
     std::int32_t rank = kUnattributedRank;
     TraceEvent::Type type = TraceEvent::Type::kComplete;
     std::uint8_t num_args = 0;
@@ -199,8 +204,8 @@ class ThreadRankGuard {
 /// RAII complete-event recorder: captures begin on construction, records a
 /// single "X" span on destruction.  Arms only if tracing was enabled at
 /// construction; a disabled span is two loads and a branch total.  Up to
-/// two named integer args, either at construction or via arg() once the
-/// value is known (e.g. bytes serialized inside the span).
+/// kMaxTraceArgs named integer args, either at construction or via arg()
+/// once the value is known (e.g. bytes serialized inside the span).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* cat,
@@ -213,7 +218,8 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
-  /// Attaches/overwrites a named arg (slots fill in call order, max 2).
+  /// Attaches/overwrites a named arg (slots fill in call order, max
+  /// kMaxTraceArgs).
   void arg(const char* key, std::int64_t value) {
     for (std::uint8_t i = 0; i < num_args_; ++i) {
       if (keys_[i] == key) {
@@ -221,7 +227,7 @@ class TraceSpan {
         return;
       }
     }
-    if (num_args_ < 2) {
+    if (num_args_ < kMaxTraceArgs) {
       keys_[num_args_] = key;
       vals_[num_args_] = value;
       ++num_args_;
@@ -239,9 +245,21 @@ class TraceSpan {
       case 1:
         tc.complete(name_, cat_, begin_us_, end - begin_us_, {{keys_[0], vals_[0]}}, rank_);
         break;
-      default:
+      case 2:
         tc.complete(name_, cat_, begin_us_, end - begin_us_,
                     {{keys_[0], vals_[0]}, {keys_[1], vals_[1]}}, rank_);
+        break;
+      case 3:
+        tc.complete(name_, cat_, begin_us_, end - begin_us_,
+                    {{keys_[0], vals_[0]}, {keys_[1], vals_[1]}, {keys_[2], vals_[2]}}, rank_);
+        break;
+      default:
+        tc.complete(name_, cat_, begin_us_, end - begin_us_,
+                    {{keys_[0], vals_[0]},
+                     {keys_[1], vals_[1]},
+                     {keys_[2], vals_[2]},
+                     {keys_[3], vals_[3]}},
+                    rank_);
     }
   }
 
@@ -252,8 +270,8 @@ class TraceSpan {
   bool armed_;
   double begin_us_ = 0.0;
   std::uint8_t num_args_ = 0;
-  const char* keys_[2] = {nullptr, nullptr};
-  std::int64_t vals_[2] = {0, 0};
+  const char* keys_[kMaxTraceArgs] = {nullptr, nullptr, nullptr, nullptr};
+  std::int64_t vals_[kMaxTraceArgs] = {0, 0, 0, 0};
 };
 
 }  // namespace smart::obs

@@ -8,8 +8,10 @@
 // "i", and a send→recv pair shows as "s"/"f" flow arrows joined by id.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/serialize.h"
@@ -19,10 +21,33 @@ namespace smart::obs {
 
 /// Writes `events` as a Chrome trace-event JSON document
 /// ({"traceEvents":[...]}) — loadable in Perfetto and chrome://tracing.
-void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events);
+/// A nonzero `dropped_events` (TraceCollector ring-buffer losses at
+/// snapshot time) is recorded as a "smart_dropped_events" metadata record
+/// so consumers — read_chrome_trace included — know the file is lossy.
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events,
+                        std::size_t dropped_events = 0);
 
 /// write_chrome_trace to a file; returns false if the file cannot be opened.
-bool write_chrome_trace_file(const std::string& path, const std::vector<TraceEvent>& events);
+bool write_chrome_trace_file(const std::string& path, const std::vector<TraceEvent>& events,
+                             std::size_t dropped_events = 0);
+
+/// A Chrome trace-event document read back into TraceEvent form.
+struct ChromeTrace {
+  std::vector<TraceEvent> events;
+  std::size_t dropped_events = 0;  ///< from the "smart_dropped_events" metadata record
+};
+
+/// Parses a Chrome trace-event JSON document (the write_chrome_trace shape:
+/// a {"traceEvents":[...]} object or a bare event array).  Tolerant of
+/// foreign events: unknown phases and non-integer args are skipped, so
+/// files touched by other tools still load.  Returns false and sets
+/// `error` (when non-null) on malformed JSON.
+bool read_chrome_trace(std::string_view json, ChromeTrace& out, std::string* error = nullptr);
+
+/// read_chrome_trace over a file's contents; false if the file cannot be
+/// read or does not parse.
+bool read_chrome_trace_file(const std::string& path, ChromeTrace& out,
+                            std::string* error = nullptr);
 
 /// Appends `events` to `w` for shipping across ranks (gather.h).
 void serialize_events(Writer& w, const std::vector<TraceEvent>& events);

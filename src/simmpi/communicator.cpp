@@ -73,6 +73,11 @@ void observe_send_stall(double stalled_seconds) {
       obs::MetricsRegistry::global().histogram("simmpi.send_stall_us", recv_wait_bounds());
   hist.observe(stalled_seconds * 1e6);
 }
+
+/// Virtual-clock stamp as an integer trace arg.  Nanoseconds keep the
+/// critical-path reconstruction (obs/critpath.h) exact to well under the
+/// microsecond even on second-scale virtual makespans.
+std::int64_t vt_ns(double seconds) { return static_cast<std::int64_t>(seconds * 1e9); }
 }  // namespace
 
 std::uint64_t payload_bytes_copied() {
@@ -167,9 +172,6 @@ void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool s
           state_->bytes_sent += nbytes;
           return;
         case FaultAction::kDelay:
-          if (obs::trace_enabled()) {
-            obs::TraceCollector::instance().instant("fault.delay", "fault", {{"tag", tag}});
-          }
           // Deterministic mode: the delay is purely virtual — charging the
           // clock shifts this message's arrival_vtime (computed below from
           // vclock) so the delay is a *scheduled* event the policies can
@@ -178,6 +180,15 @@ void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool s
             std::this_thread::sleep_for(std::chrono::duration<double>(rule->delay_seconds));
           }
           state_->vclock += rule->delay_seconds;
+          if (obs::trace_enabled()) {
+            // vt_ns is the post-delay clock, so the profiler can carve
+            // [vt − delay, vt] out of local time as injected fault delay.
+            obs::TraceCollector::instance().instant(
+                "fault.delay", "fault",
+                {{"tag", tag},
+                 {"delay_ns", vt_ns(rule->delay_seconds)},
+                 {"vt_ns", vt_ns(state_->vclock)}});
+          }
           break;
         case FaultAction::kDuplicate:
           duplicate = true;
@@ -195,6 +206,9 @@ void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool s
   // the receiver's clock can never observe the payload earlier.
   e.arrival_vtime =
       world_.network().arrival_vtime(world_rank_, world_dest, nbytes, state_->vclock);
+  // Departure stamp on the span: the profiler jumps from an
+  // arrival-constrained recv back to this clock value on this rank.
+  span.arg("dep_vt_ns", vt_ns(e.vtime));
   e.epoch = epoch;
   e.payload = std::move(payload);
   e.shared_payload = shared;
@@ -236,6 +250,7 @@ void Communicator::send_envelope(int dest, int tag, SharedBuffer payload, bool s
     state_->vclock += stalled_seconds;
     state_->send_stall_seconds += stalled_seconds;
     state_->last_cpu = thread_cpu_seconds();
+    span.arg("stall_ns", vt_ns(stalled_seconds));
     if (obs::metrics_enabled()) {
       static obs::Counter& stalls = obs::MetricsRegistry::global().counter("simmpi.send_stalls");
       stalls.add(1);
@@ -273,14 +288,18 @@ void Communicator::inject_recv_faults(int world_source, int tag) {
         world_.mark_rank_dead(world_rank_);
         throw detail::RankKilled{world_rank_};
       case FaultAction::kDelay:
-        if (obs::trace_enabled()) {
-          obs::TraceCollector::instance().instant("fault.delay", "fault", {{"tag", tag}});
-        }
         // Virtual under a schedule controller; see send_envelope's kDelay.
         if (world_.schedule() == nullptr) {
           std::this_thread::sleep_for(std::chrono::duration<double>(rule->delay_seconds));
         }
         state_->vclock += rule->delay_seconds;
+        if (obs::trace_enabled()) {
+          obs::TraceCollector::instance().instant(
+              "fault.delay", "fault",
+              {{"tag", tag},
+               {"delay_ns", vt_ns(rule->delay_seconds)},
+               {"vt_ns", vt_ns(state_->vclock)}});
+        }
         break;
       case FaultAction::kDrop:
       case FaultAction::kDuplicate:
@@ -377,31 +396,46 @@ Envelope Communicator::recv_envelope_timeout(int source, int tag, double timeout
 Buffer Communicator::recv(int source, int tag, int* actual_source, int* actual_tag) {
   obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
   Envelope e = recv_envelope(source, tag);
-  span.arg("bytes", static_cast<std::int64_t>(e.size()));
-  return deliver(std::move(e), actual_source, actual_tag);
+  span.arg("vt0_ns", vt_ns(state_->vclock));
+  Buffer out = deliver(std::move(e), actual_source, actual_tag);
+  // vt1 > vt0 means this receive was arrival-constrained: the rank's clock
+  // jumped forward to the message's arrival_vtime (the profiler's cue to
+  // follow the flow edge back to the sender).
+  span.arg("vt1_ns", vt_ns(state_->vclock));
+  span.arg("bytes", static_cast<std::int64_t>(out.size()));
+  return out;
 }
 
 SharedBuffer Communicator::recv_shared(int source, int tag, int* actual_source, int* actual_tag) {
   obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
   Envelope e = recv_envelope(source, tag);
-  span.arg("bytes", static_cast<std::int64_t>(e.size()));
-  return deliver_shared(e, actual_source, actual_tag);
+  span.arg("vt0_ns", vt_ns(state_->vclock));
+  SharedBuffer out = deliver_shared(e, actual_source, actual_tag);
+  span.arg("vt1_ns", vt_ns(state_->vclock));
+  span.arg("bytes", static_cast<std::int64_t>(out->size()));
+  return out;
 }
 
 Buffer Communicator::recv_timeout(int source, int tag, double timeout_seconds, int* actual_source,
                                   int* actual_tag) {
   obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
   Envelope e = recv_envelope_timeout(source, tag, timeout_seconds);
-  span.arg("bytes", static_cast<std::int64_t>(e.size()));
-  return deliver(std::move(e), actual_source, actual_tag);
+  span.arg("vt0_ns", vt_ns(state_->vclock));
+  Buffer out = deliver(std::move(e), actual_source, actual_tag);
+  span.arg("vt1_ns", vt_ns(state_->vclock));
+  span.arg("bytes", static_cast<std::int64_t>(out.size()));
+  return out;
 }
 
 SharedBuffer Communicator::recv_shared_timeout(int source, int tag, double timeout_seconds,
                                                int* actual_source, int* actual_tag) {
   obs::TraceSpan span("recv", "mpi", {{"tag", tag}});
   Envelope e = recv_envelope_timeout(source, tag, timeout_seconds);
-  span.arg("bytes", static_cast<std::int64_t>(e.size()));
-  return deliver_shared(e, actual_source, actual_tag);
+  span.arg("vt0_ns", vt_ns(state_->vclock));
+  SharedBuffer out = deliver_shared(e, actual_source, actual_tag);
+  span.arg("vt1_ns", vt_ns(state_->vclock));
+  span.arg("bytes", static_cast<std::int64_t>(out->size()));
+  return out;
 }
 
 bool Communicator::peer_alive(int rank) const { return !world_.rank_dead(to_world(rank)); }
@@ -499,9 +533,11 @@ std::vector<Buffer> Communicator::gather(const Buffer& local, int root) {
   for (int i = 0; i < n - 1; ++i) {
     obs::TraceSpan span("recv", "mpi", {{"tag", kGatherTag}});
     Envelope e = recv_envelope(kAnySource, kGatherTag, epoch);
+    span.arg("vt0_ns", vt_ns(state_->vclock));
     span.arg("bytes", static_cast<std::int64_t>(e.size()));
     int src = kAnySource;
     Buffer got = deliver(std::move(e), &src, nullptr);
+    span.arg("vt1_ns", vt_ns(state_->vclock));
     if (src == kAnySource || src == root) {
       throw std::logic_error("simmpi::gather: unexpected message source");
     }
@@ -543,9 +579,11 @@ std::vector<Buffer> Communicator::alltoall(const std::vector<Buffer>& sends) {
   for (int i = 0; i < n - 1; ++i) {
     obs::TraceSpan span("recv", "mpi", {{"tag", kAlltoallTag}});
     Envelope e = recv_envelope(kAnySource, kAlltoallTag, epoch);
+    span.arg("vt0_ns", vt_ns(state_->vclock));
     span.arg("bytes", static_cast<std::int64_t>(e.size()));
     int src = kAnySource;
     Buffer got = deliver(std::move(e), &src, nullptr);
+    span.arg("vt1_ns", vt_ns(state_->vclock));
     recvs[static_cast<std::size_t>(src)] = std::move(got);
   }
   return recvs;

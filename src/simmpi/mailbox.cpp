@@ -1,11 +1,24 @@
 #include "simmpi/mailbox.h"
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simmpi/schedule.h"
 
 namespace smart::simmpi {
 
 namespace {
+/// A timed receive waited out its whole window and got nothing.  Without
+/// this marker the wait is invisible in traces (no span is emitted on the
+/// empty path), which blinds the critical-path profiler to recv-wait time.
+void trace_receive_timeout(int tag, std::chrono::nanoseconds waited) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceCollector::instance().instant(
+      "recv.timeout", "mpi",
+      {{"tag", tag},
+       {"waited_us",
+        std::chrono::duration_cast<std::chrono::microseconds>(waited).count()}});
+}
+
 /// Lane-depth buckets for simmpi.lane_depth (messages queued in the posted
 /// lane, including the new one): 1 .. 256 in octaves.
 const std::vector<double>& lane_depth_bounds() {
@@ -224,6 +237,7 @@ std::optional<Envelope> Mailbox::receive_for(int source, int tag,
       // have been posted between the final wake-up and the deadline check.
       auto e = take_locked(source, tag, epoch);
       unregister_locked(&w);
+      if (!e) trace_receive_timeout(tag, timeout);
       return e;
     }
     w.signaled = false;
@@ -317,7 +331,9 @@ std::optional<Envelope> Mailbox::receive_for_scheduled(int source, int tag,
       lock.unlock();
       sched_->pump(sched_rank_, /*force=*/true);
       lock.lock();
-      return take_locked(source, tag, epoch);
+      auto e = take_locked(source, tag, epoch);
+      if (!e) trace_receive_timeout(tag, timeout);
+      return e;
     }
   }
 }

@@ -125,6 +125,9 @@ LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
       obs::ThreadRankGuard rank_guard(r);
       Communicator comm(world, r);
       detail::CurrentGuard guard(&comm);
+      if (obs::trace_enabled()) {
+        obs::TraceCollector::instance().instant("rank.begin", "mpi", {{"vt_ns", 0}});
+      }
       try {
         fn(comm);
       } catch (const detail::RankKilled&) {
@@ -137,6 +140,14 @@ LaunchStats launch(int nranks, const std::function<void(Communicator&)>& fn,
       stats.rank_vtime[static_cast<std::size_t>(r)] = comm.vclock();
       stats.rank_bytes_sent[static_cast<std::size_t>(r)] = comm.bytes_sent();
       stats.rank_send_stall_seconds[static_cast<std::size_t>(r)] = comm.send_stall_seconds();
+      if (obs::trace_enabled()) {
+        // Same value LaunchStats::makespan() sees, so the trace-side
+        // reconstruction (obs/critpath.h) anchors on the exact makespan.
+        obs::TraceCollector::instance().instant(
+            "rank.end", "mpi",
+            {{"vt_ns", static_cast<std::int64_t>(
+                  stats.rank_vtime[static_cast<std::size_t>(r)] * 1e9)}});
+      }
     });
   }
   for (auto& t : threads) t.join();
